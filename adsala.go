@@ -1,0 +1,215 @@
+// Package adsala is the public API of the ADSALA reproduction: an
+// Architecture and Data-Structure Aware Linear Algebra library that uses a
+// machine-learning model, trained at installation time, to select the
+// number of threads minimising the runtime of each GEMM call.
+//
+// Reproduction of "A Machine Learning Approach Towards Runtime Optimisation
+// of Matrix Multiplication" (Xia, De La Pierre, Barnard, Barca; 2023).
+//
+// Usage sketch:
+//
+//	lib, report, err := adsala.Train(adsala.TrainOptions{Platform: "Gadi"})
+//	...
+//	g := lib.NewGemm()
+//	g.SGEMM(false, false, 1, a, b, 0, c) // threads picked by the model
+//
+// Train-once, use-everywhere: Library.Save writes the two installation
+// artefacts (preprocessing config + trained model) to one JSON file that
+// adsala.Load restores at program start.
+package adsala
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sampling"
+	"repro/internal/simtime"
+)
+
+// Matrix type re-exports so that callers of the public API do not need to
+// import internal packages.
+type (
+	// MatrixF32 is a dense row-major single-precision matrix.
+	MatrixF32 = matF32
+	// MatrixF64 is a dense row-major double-precision matrix.
+	MatrixF64 = matF64
+)
+
+// TrainOptions configures installation-time training.
+type TrainOptions struct {
+	// Platform selects the timing substrate: "Setonix" or "Gadi" train
+	// against the corresponding simulated HPC node; "local" times the
+	// built-in pure-Go GEMM on this machine.
+	Platform string
+	// CapMB bounds the aggregate GEMM footprint of the sampled shapes
+	// (paper: 100 or 500). Default 500 for simulated platforms, 64 for
+	// local.
+	CapMB int
+	// Shapes is the number of sampled GEMM shapes (paper: 1763).
+	// Default 300 (simulated) / 40 (local).
+	Shapes int
+	// Iters is the number of timing repetitions per configuration
+	// (paper: 10). Default 3.
+	Iters int
+	// Quick shrinks model grids and ensemble sizes (for demos and tests).
+	Quick bool
+	// HT enables hyper-threading on simulated platforms (default true).
+	NoHT bool
+	Seed int64
+}
+
+// Report is the model-comparison outcome of installation (Tables III/IV).
+type Report struct {
+	Rows []core.ModelReport
+}
+
+// String renders the report as an aligned table.
+func (r *Report) String() string { return core.RenderReport(r.Rows) }
+
+// Best returns the name of the selected model.
+func (r *Report) Best(kind string) (core.ModelReport, bool) {
+	for _, row := range r.Rows {
+		if row.Kind == kind {
+			return row, true
+		}
+	}
+	return core.ModelReport{}, false
+}
+
+// Library is a trained ADSALA artefact.
+type Library struct {
+	inner *core.Library
+}
+
+// Train runs the full installation workflow (Fig 2) and returns the
+// deployable library plus the model-comparison report.
+func Train(opts TrainOptions) (*Library, *Report, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.Train(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Library{inner: res.Library}, &Report{Rows: res.Reports}, nil
+}
+
+func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	iters := opts.Iters
+	if iters == 0 {
+		iters = 3
+	}
+
+	var (
+		timer      simtime.Timer
+		maxThreads int
+		refThreads int
+		platform   string
+		capMB      = opts.CapMB
+		shapes     = opts.Shapes
+	)
+	switch strings.ToLower(opts.Platform) {
+	case "", "gadi", "setonix":
+		name := "Gadi"
+		if strings.EqualFold(opts.Platform, "setonix") {
+			name = "Setonix"
+		}
+		node, err := machine.ByName(name)
+		if err != nil {
+			return core.TrainConfig{}, err
+		}
+		scfg := simtime.DefaultConfig(node)
+		scfg.HT = !opts.NoHT
+		scfg.Seed = seed
+		timer = simtime.New(scfg)
+		maxThreads = node.MaxThreads(!opts.NoHT)
+		refThreads = node.PhysicalCores()
+		platform = name
+		if capMB == 0 {
+			capMB = 500
+		}
+		if shapes == 0 {
+			shapes = 300
+		}
+	case "local":
+		timer = simtime.NewRealTimer(iters)
+		maxThreads = runtime.GOMAXPROCS(0) * 2
+		refThreads = runtime.GOMAXPROCS(0)
+		platform = "local"
+		if capMB == 0 {
+			capMB = 64
+		}
+		if shapes == 0 {
+			shapes = 40
+		}
+	default:
+		return core.TrainConfig{}, fmt.Errorf("adsala: unknown platform %q (want Setonix, Gadi or local)", opts.Platform)
+	}
+
+	gather := core.GatherConfig{
+		Timer:      timer,
+		Domain:     sampling.DefaultDomain().WithCapMB(capMB),
+		NumShapes:  shapes,
+		Candidates: core.DefaultCandidates(maxThreads),
+		Iters:      iters,
+		Seed:       seed,
+	}
+	if platform == "local" {
+		// Local timing of the pure-Go GEMM: keep shapes small enough to
+		// finish quickly.
+		gather.Domain.MaxDim = 768
+	}
+	cfg := core.DefaultTrainConfig(gather, platform, refThreads)
+	cfg.Models = core.DefaultModels(seed, opts.Quick)
+	return cfg, nil
+}
+
+// Load restores a library saved by Save.
+func Load(path string) (*Library, error) {
+	inner, err := core.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Library{inner: inner}, nil
+}
+
+// Save writes the installation artefacts to one JSON file.
+func (l *Library) Save(path string) error { return l.inner.Save(path) }
+
+// Platform returns the platform name the library was trained for.
+func (l *Library) Platform() string { return l.inner.Platform }
+
+// ModelKind returns the selected model family (e.g. "xgb").
+func (l *Library) ModelKind() string { return l.inner.ModelKind }
+
+// Candidates returns the thread counts the library ranks at runtime.
+func (l *Library) Candidates() []int {
+	return append([]int(nil), l.inner.Candidates...)
+}
+
+// OptimalThreads predicts the fastest thread count for an m×k×n GEMM.
+func (l *Library) OptimalThreads(m, k, n int) int {
+	return l.inner.OptimalThreads(m, k, n)
+}
+
+// PredictRuntime returns the model's wall-time estimate in seconds for one
+// GEMM configuration.
+func (l *Library) PredictRuntime(m, k, n, threads int) float64 {
+	return l.inner.PredictSeconds(m, k, n, threads)
+}
+
+// EvalLatency returns the measured model-evaluation latency per selection.
+func (l *Library) EvalLatency() float64 { return l.inner.EvalSeconds }
+
+// Predictor returns a caching thread-count predictor (the Fig 3 runtime
+// path) bound to this library. Each Predictor keeps its own last-shape
+// cache; see Gemm for the full execution front end.
+func (l *Library) Predictor() *core.Predictor { return l.inner.NewPredictor() }

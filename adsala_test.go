@@ -1,0 +1,136 @@
+package adsala
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trainQuick(t *testing.T) (*Library, *Report) {
+	t.Helper()
+	lib, rep, err := Train(TrainOptions{Platform: "Gadi", Shapes: 60, Quick: true, CapMB: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, rep
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, _, err := Train(TrainOptions{Platform: "Frontier"}); err == nil {
+		t.Error("unknown platform should error")
+	}
+}
+
+func TestTrainAndFacade(t *testing.T) {
+	lib, rep := trainQuick(t)
+	if lib.Platform() != "Gadi" {
+		t.Errorf("Platform = %q", lib.Platform())
+	}
+	if lib.ModelKind() == "" {
+		t.Error("no model kind")
+	}
+	if len(lib.Candidates()) == 0 || lib.Candidates()[0] != 1 {
+		t.Errorf("candidates = %v", lib.Candidates())
+	}
+	if got := lib.OptimalThreads(512, 512, 512); got < 1 || got > 96 {
+		t.Errorf("OptimalThreads = %d", got)
+	}
+	if rt := lib.PredictRuntime(512, 512, 512, 8); rt <= 0 {
+		t.Errorf("PredictRuntime = %v", rt)
+	}
+	if lib.EvalLatency() <= 0 {
+		t.Errorf("EvalLatency = %v", lib.EvalLatency())
+	}
+	if !strings.Contains(rep.String(), "XGBoost") {
+		t.Errorf("report missing models:\n%s", rep)
+	}
+	if _, ok := rep.Best(lib.ModelKind()); !ok {
+		t.Error("selected model missing from report")
+	}
+}
+
+func TestSaveLoadFacade(t *testing.T) {
+	lib, _ := trainQuick(t)
+	path := filepath.Join(t.TempDir(), "adsala.json")
+	if err := lib.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.OptimalThreads(300, 300, 300) != lib.OptimalThreads(300, 300, 300) {
+		t.Error("choice changed after reload")
+	}
+}
+
+func TestGemmProducesCorrectResult(t *testing.T) {
+	lib, _ := trainQuick(t)
+	g := lib.NewGemm()
+	rng := rand.New(rand.NewSource(1))
+	m, k, n := 33, 47, 29
+	a := NewMatrixF32(m, k)
+	b := NewMatrixF32(k, n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c := NewMatrixF32(m, n)
+	if err := g.SGEMM(false, false, 1, a, b, 0, c); err != nil {
+		t.Fatal(err)
+	}
+	// Verify one element against a manual inner product.
+	var want float64
+	for p := 0; p < k; p++ {
+		want += float64(a.At(3, p)) * float64(b.At(p, 5))
+	}
+	got := float64(c.At(3, 5))
+	if d := got - want; d > 1e-3 || d < -1e-3 {
+		t.Errorf("C[3,5] = %v, want %v", got, want)
+	}
+	// DGEMM path too.
+	ad := NewMatrixF64(4, 5)
+	bd := NewMatrixF64(5, 6)
+	ad.FillRandom(rng)
+	bd.FillRandom(rng)
+	cd := NewMatrixF64(4, 6)
+	if err := g.DGEMM(false, false, 1, ad, bd, 0, cd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmCacheAndClamp(t *testing.T) {
+	lib, _ := trainQuick(t)
+	g := lib.NewGemm()
+	g.SetMaxLocalThreads(2)
+	if got := g.LastChoice(4096, 4096, 4096); got > 2 {
+		t.Errorf("clamp failed: %d", got)
+	}
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrixF32(16, 16)
+	b := NewMatrixF32(16, 16)
+	c := NewMatrixF32(16, 16)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	for i := 0; i < 5; i++ {
+		if err := g.SGEMM(false, false, 1, a, b, 0, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := g.CacheStats()
+	if hits < 4 {
+		t.Errorf("cache hits = %d after 5 repeated shapes (misses %d)", hits, misses)
+	}
+}
+
+func TestTrainLocalSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("local timing in -short mode")
+	}
+	lib, _, err := Train(TrainOptions{Platform: "local", Shapes: 12, Quick: true, Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.OptimalThreads(256, 256, 256); got < 1 {
+		t.Errorf("local OptimalThreads = %d", got)
+	}
+}

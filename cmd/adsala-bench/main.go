@@ -1,0 +1,58 @@
+// adsala-bench regenerates the paper's tables and figures as text output.
+//
+// Usage:
+//
+//	adsala-bench -list
+//	adsala-bench -exp table5
+//	adsala-bench -exp all -scale default
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adsala-bench: ")
+	var (
+		exp   = flag.String("exp", "all", "experiment id or \"all\"")
+		scale = flag.String("scale", "default", "quick, default or paper")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-18s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q (want quick, default or paper)", *scale)
+	}
+	lab := experiments.NewLab(sc)
+
+	if *exp == "all" {
+		if err := experiments.RunAll(os.Stdout, lab); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := experiments.Run(*exp, os.Stdout, lab); err != nil {
+		log.Fatal(err)
+	}
+}

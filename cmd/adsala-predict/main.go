@@ -1,0 +1,50 @@
+// adsala-predict queries a saved ADSALA library: for a given GEMM shape it
+// prints the predicted runtime of every candidate thread count and the
+// selected optimum.
+//
+// Usage:
+//
+//	adsala-predict -lib gadi.adsala.json -m 64 -k 2048 -n 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	adsala "repro"
+	"repro/internal/tabulate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adsala-predict: ")
+	var (
+		libPath = flag.String("lib", "adsala.json", "library file written by adsala-train")
+		m       = flag.Int("m", 1024, "rows of A / C")
+		k       = flag.Int("k", 1024, "cols of A / rows of B")
+		n       = flag.Int("n", 1024, "cols of B / C")
+	)
+	flag.Parse()
+	if *m < 1 || *k < 1 || *n < 1 {
+		log.Fatalf("dimensions must be positive, got %dx%dx%d", *m, *k, *n)
+	}
+
+	lib, err := adsala.Load(*libPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := lib.OptimalThreads(*m, *k, *n)
+	fmt.Printf("library: platform=%s model=%s\n", lib.Platform(), lib.ModelKind())
+	fmt.Printf("GEMM %dx%dx%d -> optimal threads: %d\n\n", *m, *k, *n, opt)
+
+	tb := tabulate.New("threads", "predicted runtime (us)", "")
+	for _, c := range lib.Candidates() {
+		mark := ""
+		if c == opt {
+			mark = "<== selected"
+		}
+		tb.Row(tabulate.D(c), tabulate.F(lib.PredictRuntime(*m, *k, *n, c)*1e6, 2), mark)
+	}
+	fmt.Print(tb.String())
+}

@@ -1,0 +1,55 @@
+// adsala-train runs the ADSALA installation workflow (Fig 2): it gathers
+// GEMM timings on the selected platform, preprocesses them, tunes and trains
+// the eight candidate models, prints the Table III/IV-style comparison, and
+// saves the selected model plus preprocessing configuration to a library
+// file for the runtime (Fig 3).
+//
+// Usage:
+//
+//	adsala-train -platform Gadi -cap 500 -shapes 300 -out gadi.adsala.json
+//	adsala-train -platform local -out local.adsala.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	adsala "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adsala-train: ")
+	var (
+		platform = flag.String("platform", "Gadi", "Setonix, Gadi (simulated) or local")
+		capMB    = flag.Int("cap", 0, "memory cap in MB for sampled GEMMs (0 = platform default)")
+		shapes   = flag.Int("shapes", 0, "number of sampled shapes (0 = platform default; paper used 1763)")
+		iters    = flag.Int("iters", 3, "timing repetitions per configuration (paper: 10)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "smaller model grids and ensembles")
+		noHT     = flag.Bool("no-ht", false, "disable hyper-threading on the simulated platform")
+		out      = flag.String("out", "adsala.json", "output library file")
+	)
+	flag.Parse()
+
+	lib, report, err := adsala.Train(adsala.TrainOptions{
+		Platform: *platform,
+		CapMB:    *capMB,
+		Shapes:   *shapes,
+		Iters:    *iters,
+		Seed:     *seed,
+		Quick:    *quick,
+		NoHT:     *noHT,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Model comparison on %s:\n%s\n", lib.Platform(), report)
+	fmt.Printf("selected model: %s (eval latency %.1f us)\n",
+		lib.ModelKind(), lib.EvalLatency()*1e6)
+	if err := lib.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("library written to %s\n", *out)
+}

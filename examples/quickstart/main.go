@@ -1,0 +1,64 @@
+// Quickstart: train an ADSALA library against the simulated Gadi node, look
+// at the model comparison, ask it for thread counts, and run a real GEMM
+// through the ML-driven front end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	adsala "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Installation: gather timings on the (simulated) platform, train and
+	// select the model. Quick mode keeps this to a few seconds.
+	fmt.Println("== training ADSALA for the Gadi platform (2x 24-core Cascade Lake) ==")
+	lib, report, err := adsala.Train(adsala.TrainOptions{
+		Platform: "Gadi", Shapes: 120, Quick: true, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+	fmt.Printf("selected model: %s, evaluation latency %.0f us\n\n",
+		lib.ModelKind(), lib.EvalLatency()*1e6)
+
+	// 2. Ask the model for thread counts across very different shapes.
+	fmt.Println("== model-selected thread counts (max on Gadi: 96) ==")
+	shapes := [][3]int{
+		{64, 64, 64},       // tiny: parallel overheads dominate
+		{64, 2048, 64},     // the Table VII pathology: skinny K-panel
+		{512, 512, 512},    // medium square
+		{6000, 6000, 6000}, // large square: wants the whole machine
+	}
+	for _, s := range shapes {
+		threads := lib.OptimalThreads(s[0], s[1], s[2])
+		pred := lib.PredictRuntime(s[0], s[1], s[2], threads)
+		fmt.Printf("  %5dx%5dx%5d -> %3d threads (predicted %8.1f us)\n",
+			s[0], s[1], s[2], threads, pred*1e6)
+	}
+
+	// 3. Run an actual GEMM through the front end: the model picks the
+	// thread count (clamped to this machine's cores), the built-in blocked
+	// GEMM executes it.
+	fmt.Println("\n== executing a real SGEMM through the ADSALA front end ==")
+	g := lib.NewGemm()
+	rng := rand.New(rand.NewSource(1))
+	m, k, n := 256, 384, 128
+	a := adsala.NewMatrixF32(m, k)
+	b := adsala.NewMatrixF32(k, n)
+	c := adsala.NewMatrixF32(m, n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	if err := g.SGEMM(false, false, 1, a, b, 0, c); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C = A(%dx%d) * B(%dx%d) done with %d threads; C[0,0] = %f\n",
+		m, k, k, n, g.LastChoice(m, k, n), c.At(0, 0))
+}

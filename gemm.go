@@ -1,0 +1,103 @@
+package adsala
+
+import (
+	"runtime"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// Internal aliases backing the exported matrix names.
+type (
+	matF32 = mat.F32
+	matF64 = mat.F64
+)
+
+// NewMatrixF32 allocates a zeroed, 64-byte-aligned rows × cols matrix.
+func NewMatrixF32(rows, cols int) *MatrixF32 { return mat.NewF32(rows, cols) }
+
+// NewMatrixF64 allocates a zeroed, 64-byte-aligned rows × cols matrix.
+func NewMatrixF64(rows, cols int) *MatrixF64 { return mat.NewF64(rows, cols) }
+
+// Gemm is the runtime front end of Fig 3: it wraps the built-in
+// multi-threaded GEMM, consulting the library's model for the thread count
+// on every call and re-using the cached decision when the same dimensions
+// repeat (§III-C). Thread counts are clamped to the local GOMAXPROCS so a
+// library trained for a larger platform still runs correctly here.
+//
+// A Gemm is safe for concurrent use.
+type Gemm struct {
+	pred *core.Predictor
+	// maxLocal caps the executed thread count (0 = GOMAXPROCS).
+	maxLocal int
+}
+
+// NewGemm returns a GEMM front end bound to the library.
+func (l *Library) NewGemm() *Gemm {
+	return &Gemm{pred: l.inner.NewPredictor()}
+}
+
+// SetMaxLocalThreads overrides the local execution clamp (useful in tests).
+func (g *Gemm) SetMaxLocalThreads(n int) { g.maxLocal = n }
+
+// localClamp returns the largest thread count to actually run.
+func (g *Gemm) localClamp() int {
+	if g.maxLocal > 0 {
+		return g.maxLocal
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// choose returns the model-selected thread count, clamped for local
+// execution.
+func (g *Gemm) choose(m, k, n int) int {
+	threads := g.pred.OptimalThreads(m, k, n)
+	if c := g.localClamp(); threads > c {
+		threads = c
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return threads
+}
+
+// SGEMM computes C ← alpha·op(A)·op(B) + beta·C in single precision with the
+// model-selected thread count.
+func (g *Gemm) SGEMM(transA, transB bool, alpha float32, a, b *MatrixF32, beta float32, c *MatrixF32) error {
+	m, n, k := opDimsF32(a, transA, b, transB)
+	return blas.SGEMM(transA, transB, alpha, a, b, beta, c, g.choose(m, k, n))
+}
+
+// DGEMM is the double-precision counterpart of SGEMM.
+func (g *Gemm) DGEMM(transA, transB bool, alpha float64, a, b *MatrixF64, beta float64, c *MatrixF64) error {
+	m := a.Rows
+	k := a.Cols
+	if transA {
+		m, k = a.Cols, a.Rows
+	}
+	n := b.Cols
+	if transB {
+		n = b.Rows
+	}
+	return blas.DGEMM(transA, transB, alpha, a, b, beta, c, g.choose(m, k, n))
+}
+
+// LastChoice reports the thread count the model selected for the given
+// dimensions (uses the same cache as the GEMM calls).
+func (g *Gemm) LastChoice(m, k, n int) int { return g.choose(m, k, n) }
+
+// CacheStats reports (hits, misses) of the repeated-shape prediction cache.
+func (g *Gemm) CacheStats() (hits, misses int64) { return g.pred.CacheStats() }
+
+func opDimsF32(a *MatrixF32, transA bool, b *MatrixF32, transB bool) (m, n, k int) {
+	m, k = a.Rows, a.Cols
+	if transA {
+		m, k = a.Cols, a.Rows
+	}
+	n = b.Cols
+	if transB {
+		n = b.Rows
+	}
+	return m, n, k
+}

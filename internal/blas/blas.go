@@ -1,0 +1,223 @@
+// Package blas implements the level-3 GEMM routine (C ← αAB + βC) in pure
+// Go, following the BLIS five-loop blocked-and-packed design: the operand
+// matrices are partitioned into cache-sized panels (NC/KC/MC), panels are
+// packed into contiguous buffers, and an MR×NR register micro-kernel performs
+// the innermost rank-KC update. A goroutine team parallelises the MC loop,
+// mirroring how MKL/BLIS thread the same loop with OpenMP.
+//
+// The package plays the role of the paper's vendor BLAS: ADSALA treats it as
+// a black box whose only tunable is the thread count. Its cost structure —
+// per-call fork/join, per-panel packing copies, per-iteration barriers and
+// the FLOP kernel — is exactly the decomposition the paper's VTune profiling
+// reports in Table VII.
+package blas
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// Params holds the blocking parameters of the five-loop algorithm.
+type Params struct {
+	MC, KC, NC int // cache block sizes (rows of A, depth, cols of B)
+	MR, NR     int // register micro-tile
+}
+
+// DefaultParams returns blocking parameters sized for typical L1/L2/L3
+// capacities. MR and NR match the hand-unrolled micro-kernel and must not be
+// changed independently of it.
+func DefaultParams() Params {
+	return Params{MC: 128, KC: 256, NC: 2048, MR: microMR, NR: microNR}
+}
+
+// Validate reports whether the parameters can drive the packed kernel.
+func (p Params) Validate() error {
+	if p.MC < 1 || p.KC < 1 || p.NC < 1 {
+		return fmt.Errorf("blas: non-positive block sizes %+v", p)
+	}
+	if p.MR != microMR || p.NR != microNR {
+		return fmt.Errorf("blas: micro-tile %dx%d unsupported (kernel is %dx%d)", p.MR, p.NR, microMR, microNR)
+	}
+	if p.MC%p.MR != 0 {
+		return fmt.Errorf("blas: MC=%d must be a multiple of MR=%d", p.MC, p.MR)
+	}
+	if p.NC%p.NR != 0 {
+		return fmt.Errorf("blas: NC=%d must be a multiple of NR=%d", p.NC, p.NR)
+	}
+	return nil
+}
+
+// SGEMM computes C ← alpha·op(A)·op(B) + beta·C in single precision using
+// the given number of worker goroutines (threads < 1 is treated as 1).
+// op(A) is A when transA is false and Aᵀ otherwise; likewise for B.
+// Dimension compatibility follows the BLAS convention: with m×k = op(A),
+// k×n = op(B), C must be m×n.
+func SGEMM(transA, transB bool, alpha float32, a *mat.F32, b *mat.F32, beta float32, c *mat.F32, threads int) error {
+	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float32]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
+	return gemm(transA, transB, alpha, av, bv, beta, cv, threads, DefaultParams())
+}
+
+// DGEMM is the double-precision counterpart of SGEMM.
+func DGEMM(transA, transB bool, alpha float64, a *mat.F64, b *mat.F64, beta float64, c *mat.F64, threads int) error {
+	av := view[float64]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float64]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float64]{c.Rows, c.Cols, c.Stride, c.Data}
+	return gemm(transA, transB, alpha, av, bv, beta, cv, threads, DefaultParams())
+}
+
+// SGEMMWithParams is SGEMM with explicit blocking parameters; it exists for
+// the blocking-parameter benchmarks.
+func SGEMMWithParams(transA, transB bool, alpha float32, a *mat.F32, b *mat.F32, beta float32, c *mat.F32, threads int, p Params) error {
+	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float32]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
+	return gemm(transA, transB, alpha, av, bv, beta, cv, threads, p)
+}
+
+// view is a type-parameterised matrix header over a flat backing slice.
+type view[T float32 | float64] struct {
+	rows, cols, stride int
+	data               []T
+}
+
+func (v view[T]) at(i, j int) T { return v.data[i*v.stride+j] }
+
+// opDims returns the dimensions of op(X).
+func opDims[T float32 | float64](v view[T], trans bool) (rows, cols int) {
+	if trans {
+		return v.cols, v.rows
+	}
+	return v.rows, v.cols
+}
+
+// opAt reads element (i, j) of op(X).
+func opAt[T float32 | float64](v view[T], trans bool, i, j int) T {
+	if trans {
+		return v.at(j, i)
+	}
+	return v.at(i, j)
+}
+
+func gemm[T float32 | float64](transA, transB bool, alpha T, a, b view[T], beta T, c view[T], threads int, prm Params) error {
+	if err := prm.Validate(); err != nil {
+		return err
+	}
+	m, ka := opDims(a, transA)
+	kb, n := opDims(b, transB)
+	if ka != kb {
+		return fmt.Errorf("blas: inner dimensions differ: op(A) is %dx%d, op(B) is %dx%d", m, ka, kb, n)
+	}
+	if c.rows != m || c.cols != n {
+		return fmt.Errorf("blas: C is %dx%d, want %dx%d", c.rows, c.cols, m, n)
+	}
+	k := ka
+	if threads < 1 {
+		threads = 1
+	}
+
+	// Degenerate cases per the BLAS spec: no FLOPs, only the beta scaling.
+	if m == 0 || n == 0 {
+		return nil
+	}
+	if alpha == 0 || k == 0 {
+		scaleC(c, beta)
+		return nil
+	}
+
+	parallelGemm(transA, transB, alpha, a, b, beta, c, m, n, k, threads, prm)
+	return nil
+}
+
+// scaleC applies C ← beta·C.
+func scaleC[T float32 | float64](c view[T], beta T) {
+	for i := 0; i < c.rows; i++ {
+		row := c.data[i*c.stride : i*c.stride+c.cols]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}
+
+// parallelGemm runs the five-loop algorithm with a fork-join goroutine team.
+// Loop structure (outer to inner): jc over NC columns of C, pc over KC depth,
+// ic over MC rows (parallelised across the team), then the packed macro- and
+// micro-kernels. beta is applied on the first pc iteration only.
+func parallelGemm[T float32 | float64](transA, transB bool, alpha T, a, b view[T], beta T, c view[T], m, n, k, threads int, prm Params) {
+	if threads > m/prm.MR+1 {
+		// No point having workers with no MR-row band to own.
+		threads = m/prm.MR + 1
+	}
+
+	type task struct {
+		jc, pc, ic int
+		nc, kc, mc int
+		first      bool // first pc iteration: apply beta
+	}
+
+	// Per-worker packed-A buffers; shared packed-B panel per (jc, pc).
+	// Buffers are sized to the actual problem so small GEMMs do not pay for
+	// full cache-sized panels.
+	kcEff := min(prm.KC, k)
+	ncEff := min(prm.NC, (n+prm.NR-1)/prm.NR*prm.NR)
+	mcEff := min(prm.MC, (m+prm.MR-1)/prm.MR*prm.MR)
+	packedB := make([]T, kcEff*ncEff)
+	bufA := make([][]T, threads)
+	for w := range bufA {
+		bufA[w] = make([]T, mcEff*kcEff)
+	}
+
+	for jc := 0; jc < n; jc += prm.NC {
+		nc := min(prm.NC, n-jc)
+		for pc := 0; pc < k; pc += prm.KC {
+			kc := min(prm.KC, k-pc)
+			first := pc == 0
+
+			// Pack B(pc:pc+kc, jc:jc+nc) into column-panel layout, split
+			// across the team (this is the shared packing phase that the
+			// cost model charges as data-copy plus one barrier).
+			packBParallel(b, transB, pc, jc, kc, nc, packedB, prm.NR, threads)
+
+			// Parallel ic loop: each worker owns a contiguous band of MC
+			// blocks. A second barrier closes the iteration.
+			var wg sync.WaitGroup
+			nBlocks := (m + prm.MC - 1) / prm.MC
+			for w := 0; w < threads; w++ {
+				lo := nBlocks * w / threads
+				hi := nBlocks * (w + 1) / threads
+				if lo == hi {
+					continue
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					for blk := lo; blk < hi; blk++ {
+						ic := blk * prm.MC
+						mc := min(prm.MC, m-ic)
+						packA(a, transA, ic, pc, mc, kc, bufA[w], prm.MR)
+						macroKernel(alpha, bufA[w], packedB, beta, c, ic, jc, mc, nc, kc, first, prm)
+					}
+				}(w, lo, hi)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package blas
+
+import "sync"
+
+// The register micro-tile. The micro-kernel below is hand-unrolled for this
+// exact shape; Params.Validate enforces agreement.
+const (
+	microMR = 4
+	microNR = 4
+)
+
+// packA copies the mc×kc block of op(A) starting at (ic, pc) into buf in
+// MR-row panel order: panel 0 holds rows ic..ic+MR-1 column-major by k,
+// padded with zeros when mc is not a multiple of MR. This layout lets the
+// micro-kernel stream A with unit stride.
+func packA[T float32 | float64](a view[T], trans bool, ic, pc, mc, kc int, buf []T, mr int) {
+	idx := 0
+	for i0 := 0; i0 < mc; i0 += mr {
+		ib := min(mr, mc-i0)
+		for p := 0; p < kc; p++ {
+			for i := 0; i < ib; i++ {
+				buf[idx] = opAt(a, trans, ic+i0+i, pc+p)
+				idx++
+			}
+			for i := ib; i < mr; i++ {
+				buf[idx] = 0
+				idx++
+			}
+		}
+	}
+}
+
+// packBPanel copies the kc×nb block of op(B) starting at (pc, jc+j0) into
+// buf in NR-column panel order, zero-padded to NR.
+func packBPanel[T float32 | float64](b view[T], trans bool, pc, jc, j0, kc, nb int, buf []T, nr int) {
+	idx := 0
+	for p := 0; p < kc; p++ {
+		for j := 0; j < nb; j++ {
+			buf[idx] = opAt(b, trans, pc+p, jc+j0+j)
+			idx++
+		}
+		for j := nb; j < nr; j++ {
+			buf[idx] = 0
+			idx++
+		}
+	}
+}
+
+// packBParallel packs the kc×nc panel of op(B) into packed NR-column panels,
+// splitting the NR panels across the goroutine team.
+func packBParallel[T float32 | float64](b view[T], trans bool, pc, jc, kc, nc int, packed []T, nr, threads int) {
+	nPanels := (nc + nr - 1) / nr
+	if threads > nPanels {
+		threads = nPanels
+	}
+	if threads <= 1 {
+		for pn := 0; pn < nPanels; pn++ {
+			j0 := pn * nr
+			nb := min(nr, nc-j0)
+			packBPanel(b, trans, pc, jc, j0, kc, nb, packed[pn*kc*nr:(pn+1)*kc*nr], nr)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		lo := nPanels * w / threads
+		hi := nPanels * (w + 1) / threads
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for pn := lo; pn < hi; pn++ {
+				j0 := pn * nr
+				nb := min(nr, nc-j0)
+				packBPanel(b, trans, pc, jc, j0, kc, nb, packed[pn*kc*nr:(pn+1)*kc*nr], nr)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// macroKernel multiplies the packed mc×kc A block with the packed kc×nc B
+// panel, updating C(ic:ic+mc, jc:jc+nc). first selects whether beta is
+// applied (only on the first KC iteration).
+func macroKernel[T float32 | float64](alpha T, packedA, packedB []T, beta T, c view[T], ic, jc, mc, nc, kc int, first bool, prm Params) {
+	mr, nr := prm.MR, prm.NR
+	var acc [microMR * microNR]T
+	for i0 := 0; i0 < mc; i0 += mr {
+		ib := min(mr, mc-i0)
+		aPanel := packedA[(i0/mr)*kc*mr:]
+		for j0 := 0; j0 < nc; j0 += nr {
+			jb := min(nr, nc-j0)
+			bPanel := packedB[(j0/nr)*kc*nr:]
+			microKernel(aPanel, bPanel, kc, &acc)
+			storeTile(alpha, beta, first, &acc, c, ic+i0, jc+j0, ib, jb)
+		}
+	}
+}
+
+// microKernel computes acc = Apanel · Bpanel for one MR×NR tile, where
+// Apanel is kc steps of MR values and Bpanel kc steps of NR values. The
+// accumulators live in registers; this is where all FLOPs happen.
+func microKernel[T float32 | float64](aPanel, bPanel []T, kc int, acc *[microMR * microNR]T) {
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	var c20, c21, c22, c23 T
+	var c30, c31, c32, c33 T
+	ai, bi := 0, 0
+	for p := 0; p < kc; p++ {
+		a0, a1, a2, a3 := aPanel[ai], aPanel[ai+1], aPanel[ai+2], aPanel[ai+3]
+		b0, b1, b2, b3 := bPanel[bi], bPanel[bi+1], bPanel[bi+2], bPanel[bi+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		ai += microMR
+		bi += microNR
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+// storeTile writes the accumulated tile into C with alpha/beta handling,
+// clipping to the ib×jb valid region.
+func storeTile[T float32 | float64](alpha, beta T, first bool, acc *[microMR * microNR]T, c view[T], ci, cj, ib, jb int) {
+	for i := 0; i < ib; i++ {
+		row := c.data[(ci+i)*c.stride+cj:]
+		for j := 0; j < jb; j++ {
+			v := alpha * acc[i*microNR+j]
+			if first {
+				if beta == 0 {
+					row[j] = v
+				} else {
+					row[j] = beta*row[j] + v
+				}
+			} else {
+				row[j] += v
+			}
+		}
+	}
+}

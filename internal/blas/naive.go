@@ -1,0 +1,34 @@
+package blas
+
+import "repro/internal/mat"
+
+// NaiveSGEMM is the unblocked triple-loop reference used to validate the
+// packed kernel. It applies the same op()/alpha/beta semantics as SGEMM.
+func NaiveSGEMM(transA, transB bool, alpha float32, a *mat.F32, b *mat.F32, beta float32, c *mat.F32) {
+	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float32]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
+	naive(transA, transB, alpha, av, bv, beta, cv)
+}
+
+// NaiveDGEMM is the double-precision reference.
+func NaiveDGEMM(transA, transB bool, alpha float64, a *mat.F64, b *mat.F64, beta float64, c *mat.F64) {
+	av := view[float64]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float64]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float64]{c.Rows, c.Cols, c.Stride, c.Data}
+	naive(transA, transB, alpha, av, bv, beta, cv)
+}
+
+func naive[T float32 | float64](transA, transB bool, alpha T, a, b view[T], beta T, c view[T]) {
+	m, k := opDims(a, transA)
+	_, n := opDims(b, transB)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum T
+			for p := 0; p < k; p++ {
+				sum += opAt(a, transA, i, p) * opAt(b, transB, p, j)
+			}
+			c.data[i*c.stride+j] = alpha*sum + beta*c.data[i*c.stride+j]
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package blas
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// SSYRK computes the symmetric rank-k update C ← alpha·A·Aᵀ + beta·C
+// (trans=false) or C ← alpha·Aᵀ·A + beta·C (trans=true), updating only the
+// lower triangle of C and mirroring it, using the given number of worker
+// goroutines.
+//
+// SYRK is the first of the paper's future-work targets ("extend our
+// ML-driven runtime thread selection approach to other BLAS operations",
+// §VII): its cost profile differs from GEMM — half the FLOPs for the same C,
+// and triangular load imbalance across the thread team — so a thread-count
+// model trained on GEMM timings does not transfer directly.
+func SSYRK(trans bool, alpha float32, a *mat.F32, beta float32, c *mat.F32, threads int) error {
+	n, k := a.Rows, a.Cols
+	if trans {
+		n, k = a.Cols, a.Rows
+	}
+	if c.Rows != n || c.Cols != n {
+		return fmt.Errorf("blas: SYRK C is %dx%d, want %dx%d", c.Rows, c.Cols, n, n)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if n == 0 {
+		return nil
+	}
+	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
+	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
+
+	if alpha == 0 || k == 0 {
+		scaleC(cv, beta)
+		return nil
+	}
+
+	// Row-band parallelisation over the lower triangle: band b owns rows
+	// [lo, hi). Bands are sized so each carries a similar number of lower-
+	// triangle elements (rows near the bottom are longer), which keeps the
+	// triangular load balanced.
+	if threads > n {
+		threads = n
+	}
+	bounds := triangularBands(n, threads)
+	var wg sync.WaitGroup
+	for b := 0; b < threads; b++ {
+		lo, hi := bounds[b], bounds[b+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row := cv.data[i*cv.stride:]
+				for j := 0; j <= i; j++ {
+					var sum float32
+					if trans {
+						for p := 0; p < k; p++ {
+							sum += av.at(p, i) * av.at(p, j)
+						}
+					} else {
+						for p := 0; p < k; p++ {
+							sum += av.at(i, p) * av.at(j, p)
+						}
+					}
+					row[j] = alpha*sum + beta*row[j]
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Mirror the lower triangle into the upper.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cv.data[i*cv.stride+j] = cv.data[j*cv.stride+i]
+		}
+	}
+	return nil
+}
+
+// triangularBands returns threads+1 row boundaries splitting the lower
+// triangle of an n×n matrix into bands of roughly equal element count.
+func triangularBands(n, threads int) []int {
+	total := float64(n) * float64(n+1) / 2
+	bounds := make([]int, threads+1)
+	bounds[threads] = n
+	row := 0
+	var acc float64
+	for b := 1; b < threads; b++ {
+		target := total * float64(b) / float64(threads)
+		for row < n && acc < target {
+			row++
+			acc += float64(row)
+		}
+		bounds[b] = row
+	}
+	return bounds
+}

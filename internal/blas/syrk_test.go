@@ -1,0 +1,104 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// syrkRef computes the SYRK reference via NaiveSGEMM against Aᵀ.
+func syrkRef(trans bool, alpha float32, a *mat.F32, beta float32, c *mat.F32) {
+	NaiveSGEMM(trans, !trans, alpha, a, a, beta, c)
+}
+
+func TestSSYRKMatchesGEMMReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		n, k    int
+		trans   bool
+		threads int
+	}{
+		{5, 7, false, 1}, {16, 4, false, 3}, {33, 17, false, 4},
+		{9, 12, true, 2}, {25, 25, true, 5}, {1, 1, false, 1},
+	} {
+		var a *mat.F32
+		if tc.trans {
+			a = randF32(tc.k, tc.n, rng)
+		} else {
+			a = randF32(tc.n, tc.k, rng)
+		}
+		c := randF32(tc.n, tc.n, rng)
+		// Symmetrise the input C: SYRK's beta-update only reads the lower
+		// triangle, so a symmetric C keeps the reference comparable.
+		for i := 0; i < tc.n; i++ {
+			for j := i + 1; j < tc.n; j++ {
+				c.Set(i, j, c.At(j, i))
+			}
+		}
+		want := c.Clone()
+		syrkRef(tc.trans, 1.5, a, 0.5, want)
+		got := c.Clone()
+		if err := SSYRK(tc.trans, 1.5, a, 0.5, got, tc.threads); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if d := got.MaxAbsDiff(want); d > tolF32(tc.k) {
+			t.Errorf("%+v: max diff %v", tc, d)
+		}
+		// Result must be exactly symmetric.
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j < i; j++ {
+				if got.At(i, j) != got.At(j, i) {
+					t.Fatalf("%+v: asymmetric at (%d,%d)", tc, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSSYRKValidation(t *testing.T) {
+	a := mat.NewF32(4, 3)
+	cBad := mat.NewF32(3, 4)
+	if err := SSYRK(false, 1, a, 0, cBad, 1); err == nil {
+		t.Error("non-square C should error")
+	}
+}
+
+func TestSSYRKAlphaZero(t *testing.T) {
+	a := mat.NewF32(3, 2)
+	c := mat.NewF32(3, 3)
+	c.Fill(4)
+	if err := SSYRK(false, 0, a, 0.5, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(1, 1) != 2 {
+		t.Errorf("alpha=0 should scale C by beta: %v", c.At(1, 1))
+	}
+}
+
+func TestTriangularBands(t *testing.T) {
+	for _, tc := range []struct{ n, threads int }{{10, 3}, {100, 8}, {5, 5}, {7, 1}} {
+		b := triangularBands(tc.n, tc.threads)
+		if len(b) != tc.threads+1 || b[0] != 0 || b[tc.threads] != tc.n {
+			t.Fatalf("n=%d t=%d: bounds %v", tc.n, tc.threads, b)
+		}
+		for i := 1; i <= tc.threads; i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("bounds not monotone: %v", b)
+			}
+		}
+		// Element counts roughly balanced (within 2x of ideal for n >> t).
+		if tc.n >= 10*tc.threads {
+			ideal := float64(tc.n) * float64(tc.n+1) / 2 / float64(tc.threads)
+			for i := 1; i <= tc.threads; i++ {
+				var count float64
+				for r := b[i-1]; r < b[i]; r++ {
+					count += float64(r + 1)
+				}
+				if count > 2*ideal {
+					t.Errorf("band %d has %v elements, ideal %v", i, count, ideal)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package core implements ADSALA proper: the install-time workflow (gather
+// timings → preprocess → tune → fit → evaluate → select the model with the
+// best estimated speedup) and the runtime library (load model, predict the
+// optimal thread count per GEMM, cache repeated shapes).
+//
+// The split mirrors Figs 2 and 3 of the paper: Train produces the two
+// artefacts (preprocessing config + trained model) that the runtime
+// Predictor loads and evaluates on the hot path.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/preprocess"
+	"repro/internal/sampling"
+	"repro/internal/simtime"
+)
+
+// CandidateTime is one measured (thread count, wall seconds) pair.
+type CandidateTime struct {
+	Threads int     `json:"threads"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ShapeTimings holds the timing sweep of one GEMM shape across every
+// candidate thread count.
+type ShapeTimings struct {
+	Shape sampling.Shape  `json:"shape"`
+	Times []CandidateTime `json:"times"`
+}
+
+// TimeAt returns the measured seconds at the given thread count.
+func (s ShapeTimings) TimeAt(threads int) (float64, bool) {
+	for _, ct := range s.Times {
+		if ct.Threads == threads {
+			return ct.Seconds, true
+		}
+	}
+	return 0, false
+}
+
+// BestMeasured returns the thread count with the smallest measured time.
+func (s ShapeTimings) BestMeasured() CandidateTime {
+	best := s.Times[0]
+	for _, ct := range s.Times[1:] {
+		if ct.Seconds < best.Seconds {
+			best = ct
+		}
+	}
+	return best
+}
+
+// DefaultCandidates returns the thread counts evaluated at runtime for a
+// platform with the given maximum: dense at low counts where the optimum
+// usually falls, and aligned with topology boundaries above.
+func DefaultCandidates(max int) []int {
+	base := []int{1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 32, 40, 48, 64, 80, 96,
+		112, 128, 160, 192, 224, 256}
+	var out []int
+	for _, c := range base {
+		if c < max {
+			out = append(out, c)
+		}
+	}
+	out = append(out, max)
+	return out
+}
+
+// GatherConfig drives the data-gathering phase (Fig 2, left box).
+type GatherConfig struct {
+	Timer      simtime.Timer
+	Domain     sampling.Domain
+	NumShapes  int
+	Candidates []int
+	// Iters is the number of timing repetitions averaged per configuration
+	// (the paper uses 10; §V-B.3).
+	Iters int
+	Seed  int64
+}
+
+// meanTimer is implemented by timers that average repetitions natively.
+type meanTimer interface {
+	MeasureMean(m, k, n, threads, iters int) float64
+}
+
+// Gather samples NumShapes quasi-random shapes and times each at every
+// candidate thread count.
+func Gather(cfg GatherConfig) ([]ShapeTimings, error) {
+	if cfg.Timer == nil {
+		return nil, fmt.Errorf("core: GatherConfig.Timer is nil")
+	}
+	if cfg.NumShapes < 1 {
+		return nil, fmt.Errorf("core: NumShapes %d < 1", cfg.NumShapes)
+	}
+	if len(cfg.Candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidate thread counts")
+	}
+	if cfg.Iters < 1 {
+		cfg.Iters = 10
+	}
+	sampler, err := sampling.NewSampler(cfg.Domain, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ShapeTimings, 0, cfg.NumShapes)
+	for i := 0; i < cfg.NumShapes; i++ {
+		sh := sampler.Next()
+		st := ShapeTimings{Shape: sh, Times: make([]CandidateTime, 0, len(cfg.Candidates))}
+		for _, p := range cfg.Candidates {
+			var secs float64
+			if mt, ok := cfg.Timer.(meanTimer); ok {
+				secs = mt.MeasureMean(sh.M, sh.K, sh.N, p, cfg.Iters)
+			} else {
+				for r := 0; r < cfg.Iters; r++ {
+					secs += cfg.Timer.Time(sh.M, sh.K, sh.N, p)
+				}
+				secs /= float64(cfg.Iters)
+			}
+			st.Times = append(st.Times, CandidateTime{Threads: p, Seconds: secs})
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Records flattens shape timings into per-(shape, threads) training records.
+func Records(data []ShapeTimings) []features.Record {
+	var recs []features.Record
+	for _, st := range data {
+		for _, ct := range st.Times {
+			recs = append(recs, features.Record{Shape: st.Shape, Threads: ct.Threads, Seconds: ct.Seconds})
+		}
+	}
+	return recs
+}
+
+// Library is the deployable ADSALA artefact: a preprocessing pipeline, a
+// trained runtime-prediction model, and the candidate thread counts to rank.
+type Library struct {
+	Platform  string
+	ModelKind string
+	Model     ml.Regressor
+	Pipeline  *preprocess.Pipeline
+	// Columns restricts the Table II feature set (nil = all features); used
+	// by the feature-set ablation.
+	Columns     []string
+	Candidates  []int
+	EvalSeconds float64 // measured model-evaluation latency per selection
+
+	colOnce sync.Once
+	colIdx  []int
+}
+
+// featureIndices resolves Columns into indices of features.Columns().
+func (l *Library) featureIndices() []int {
+	l.colOnce.Do(func() {
+		if len(l.Columns) == 0 {
+			return
+		}
+		all := features.Columns()
+		for _, want := range l.Columns {
+			for i, c := range all {
+				if c == want {
+					l.colIdx = append(l.colIdx, i)
+					break
+				}
+			}
+		}
+	})
+	return l.colIdx
+}
+
+// rawRow builds the (possibly column-restricted) raw feature row.
+func (l *Library) rawRow(m, k, n, threads int) []float64 {
+	full := features.Row(m, k, n, threads)
+	idx := l.featureIndices()
+	if idx == nil {
+		return full
+	}
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = full[j]
+	}
+	return out
+}
+
+// OptimalThreads ranks every candidate thread count by predicted runtime and
+// returns the argmin (§IV-A). This is the uncached path; use a Predictor on
+// hot loops.
+func (l *Library) OptimalThreads(m, k, n int) int {
+	best, bt := l.Candidates[0], 0.0
+	buf := make([]float64, len(l.Pipeline.Keep))
+	for i, p := range l.Candidates {
+		l.Pipeline.TransformInto(l.rawRow(m, k, n, p), buf)
+		pred := l.Model.Predict(buf)
+		if i == 0 || pred < bt {
+			best, bt = p, pred
+		}
+	}
+	return best
+}
+
+// PredictSeconds returns the model's runtime estimate for one configuration.
+func (l *Library) PredictSeconds(m, k, n, threads int) float64 {
+	row := l.Pipeline.Transform(l.rawRow(m, k, n, threads))
+	return l.Pipeline.UntransformTarget(l.Model.Predict(row))
+}
+
+// Predictor is the runtime-side wrapper (Fig 3): it remembers the last GEMM
+// shape and skips re-evaluation when the same dimensions repeat, the common
+// pattern of GEMM inside application loops (§III-C). Safe for concurrent use.
+type Predictor struct {
+	lib *Library
+
+	mu                  sync.Mutex
+	lastM, lastK, lastN int
+	lastChoice          int
+	valid               bool
+	hits, misses        int64
+	buf                 []float64
+}
+
+// NewPredictor returns a Predictor bound to the library.
+func (l *Library) NewPredictor() *Predictor {
+	return &Predictor{lib: l, buf: make([]float64, len(l.Pipeline.Keep))}
+}
+
+// OptimalThreads returns the thread count to use for an m×k×n GEMM,
+// re-using the cached decision when the shape matches the previous call.
+func (p *Predictor) OptimalThreads(m, k, n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.valid && p.lastM == m && p.lastK == k && p.lastN == n {
+		p.hits++
+		return p.lastChoice
+	}
+	p.misses++
+	best, bt := p.lib.Candidates[0], 0.0
+	for i, cand := range p.lib.Candidates {
+		p.lib.Pipeline.TransformInto(p.lib.rawRow(m, k, n, cand), p.buf)
+		pred := p.lib.Model.Predict(p.buf)
+		if i == 0 || pred < bt {
+			best, bt = cand, pred
+		}
+	}
+	p.lastM, p.lastK, p.lastN, p.lastChoice, p.valid = m, k, n, best, true
+	return best
+}
+
+// CacheStats reports (hits, misses) of the repeated-shape cache.
+func (p *Predictor) CacheStats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Reset clears the cached decision (e.g. after a NUMA policy change).
+func (p *Predictor) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.valid = false
+}
+
+// sortedCopy returns a sorted copy of xs (helper shared by train/report).
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"repro/internal/ml"
+	"repro/internal/ml/boost"
+	"repro/internal/ml/ensemble"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/tree"
+	"repro/internal/ml/tune"
+)
+
+// ModelSpec describes one candidate model family of Tables III/IV: its
+// persistence kind, display name, and a hyper-parameter grid searched by
+// cross validation during installation.
+type ModelSpec struct {
+	Kind string
+	Name string
+	Grid []tune.Candidate
+}
+
+// DefaultModels returns the paper's eight candidate families. quick shrinks
+// the grids and ensemble sizes for tests and examples.
+func DefaultModels(seed int64, quick bool) []ModelSpec {
+	xgbRounds, forestTrees, lgbmRounds, adaRounds := 120, 200, 100, 40
+	if quick {
+		xgbRounds, forestTrees, lgbmRounds, adaRounds = 30, 20, 20, 10
+	}
+
+	specs := []ModelSpec{
+		{
+			Kind: "linear",
+			Name: "Linear Regression",
+			Grid: []tune.Candidate{
+				{Label: "ols", Factory: func() ml.Regressor { return &linear.Regression{} }},
+			},
+		},
+		{
+			Kind: "elasticnet",
+			Name: "ElasticNet",
+			Grid: []tune.Candidate{
+				{Label: "a=0.001", Factory: func() ml.Regressor { return linear.NewElasticNet(0.001, 0.5) }},
+				{Label: "a=0.1", Factory: func() ml.Regressor { return linear.NewElasticNet(0.1, 0.5) }},
+			},
+		},
+		{
+			Kind: "bayesridge",
+			Name: "Bayes Regression",
+			Grid: []tune.Candidate{
+				{Label: "default", Factory: func() ml.Regressor { return linear.NewBayesianRidge() }},
+			},
+		},
+		{
+			Kind: "tree",
+			Name: "Decision Tree",
+			Grid: []tune.Candidate{
+				{Label: "d=8", Factory: func() ml.Regressor { return tree.NewRegressor(tree.Params{MaxDepth: 8, Seed: seed}) }},
+				{Label: "d=12", Factory: func() ml.Regressor { return tree.NewRegressor(tree.Params{MaxDepth: 12, Seed: seed}) }},
+			},
+		},
+		{
+			Kind: "forest",
+			Name: "Random Forest",
+			Grid: []tune.Candidate{
+				{Label: "default", Factory: func() ml.Regressor {
+					return ensemble.NewRandomForest(ensemble.ForestParams{
+						NTrees: forestTrees, MaxDepth: 18, Seed: seed,
+					})
+				}},
+			},
+		},
+		{
+			Kind: "adaboost",
+			Name: "AdaBoost",
+			Grid: []tune.Candidate{
+				{Label: "default", Factory: func() ml.Regressor {
+					return ensemble.NewAdaBoostR2(ensemble.AdaParams{
+						NEstimators: adaRounds, MaxDepth: 4, Seed: seed,
+					})
+				}},
+			},
+		},
+		{
+			Kind: "xgb",
+			Name: "XGBoost",
+			Grid: []tune.Candidate{
+				{Label: "d4", Factory: func() ml.Regressor {
+					return boost.NewXGB(boost.XGBParams{
+						NRounds: xgbRounds, MaxDepth: 4, LearningRate: 0.15, Seed: seed,
+					})
+				}},
+				{Label: "d6", Factory: func() ml.Regressor {
+					return boost.NewXGB(boost.XGBParams{
+						NRounds: xgbRounds, MaxDepth: 6, LearningRate: 0.1, Seed: seed,
+					})
+				}},
+			},
+		},
+		{
+			Kind: "lgbm",
+			Name: "LightGBM",
+			Grid: []tune.Candidate{
+				{Label: "default", Factory: func() ml.Regressor {
+					return boost.NewLGBM(boost.LGBMParams{NRounds: lgbmRounds, MaxLeaves: 31})
+				}},
+			},
+		},
+	}
+	return specs
+}
+
+// SpecByKind returns the spec with the given kind from specs, or false.
+func SpecByKind(specs []ModelSpec, kind string) (ModelSpec, bool) {
+	for _, s := range specs {
+		if s.Kind == kind {
+			return s, true
+		}
+	}
+	return ModelSpec{}, false
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/ml"
+	"repro/internal/preprocess"
+)
+
+// libraryFile is the on-disk artefact written at installation time: the
+// preprocessing configuration plus the production model of Fig 2.
+type libraryFile struct {
+	FormatVersion int             `json:"format_version"`
+	Platform      string          `json:"platform"`
+	ModelKind     string          `json:"model_kind"`
+	Columns       []string        `json:"columns,omitempty"`
+	Candidates    []int           `json:"candidates"`
+	EvalSeconds   float64         `json:"eval_seconds"`
+	Pipeline      json.RawMessage `json:"pipeline"`
+	Model         json.RawMessage `json:"model"`
+}
+
+const formatVersion = 1
+
+// Save writes the library artefact to path.
+func (l *Library) Save(path string) error {
+	pipe, err := l.Pipeline.Marshal()
+	if err != nil {
+		return fmt.Errorf("core: save pipeline: %w", err)
+	}
+	model, err := ml.Marshal(l.ModelKind, l.Model)
+	if err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	blob, err := json.MarshalIndent(libraryFile{
+		FormatVersion: formatVersion,
+		Platform:      l.Platform,
+		ModelKind:     l.ModelKind,
+		Columns:       l.Columns,
+		Candidates:    l.Candidates,
+		EvalSeconds:   l.EvalSeconds,
+		Pipeline:      pipe,
+		Model:         model,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encode library: %w", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("core: write library: %w", err)
+	}
+	return nil
+}
+
+// Load restores a library artefact written by Save.
+func Load(path string) (*Library, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read library: %w", err)
+	}
+	var f libraryFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("core: decode library %s: %w", path, err)
+	}
+	if f.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("core: library %s has format %d, want %d", path, f.FormatVersion, formatVersion)
+	}
+	if len(f.Candidates) == 0 {
+		return nil, fmt.Errorf("core: library %s has no candidate thread counts", path)
+	}
+	pipe, err := preprocess.UnmarshalPipeline(f.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	model, err := ml.Unmarshal(f.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Library{
+		Platform:    f.Platform,
+		ModelKind:   f.ModelKind,
+		Model:       model,
+		Pipeline:    pipe,
+		Columns:     f.Columns,
+		Candidates:  sortedCopy(f.Candidates),
+		EvalSeconds: f.EvalSeconds,
+	}, nil
+}

@@ -1,0 +1,225 @@
+// Package dataset provides the column-named tabular container shared by the
+// sampling, preprocessing, training and experiment layers, with CSV
+// round-tripping for the install-time artefacts.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// Dataset is a feature matrix with named columns and a regression target.
+// Rows of X and elements of Y correspond one-to-one.
+type Dataset struct {
+	Cols []string    // feature column names
+	X    [][]float64 // row-major feature rows
+	Y    []float64   // regression target (GEMM runtime in seconds)
+}
+
+// New returns an empty dataset with the given column names.
+func New(cols []string) *Dataset {
+	return &Dataset{Cols: append([]string(nil), cols...)}
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Append adds one row. It panics if the row width disagrees with Cols —
+// construction is programmer-controlled.
+func (d *Dataset) Append(row []float64, y float64) {
+	if len(row) != len(d.Cols) {
+		panic(fmt.Sprintf("dataset: row width %d != %d columns", len(row), len(d.Cols)))
+	}
+	d.X = append(d.X, row)
+	d.Y = append(d.Y, y)
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	c := New(d.Cols)
+	c.X = make([][]float64, len(d.X))
+	for i, r := range d.X {
+		c.X[i] = append([]float64(nil), r...)
+	}
+	c.Y = append([]float64(nil), d.Y...)
+	return c
+}
+
+// Column returns a copy of the values of the named column.
+func (d *Dataset) Column(name string) ([]float64, error) {
+	idx := -1
+	for i, c := range d.Cols {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("dataset: no column %q", name)
+	}
+	out := make([]float64, len(d.X))
+	for i, r := range d.X {
+		out[i] = r[idx]
+	}
+	return out, nil
+}
+
+// Select returns a new dataset containing only the named columns (in the
+// given order), sharing no storage with the receiver.
+func (d *Dataset) Select(cols []string) (*Dataset, error) {
+	idx := make([]int, len(cols))
+	for j, want := range cols {
+		idx[j] = -1
+		for i, c := range d.Cols {
+			if c == want {
+				idx[j] = i
+				break
+			}
+		}
+		if idx[j] < 0 {
+			return nil, fmt.Errorf("dataset: no column %q", want)
+		}
+	}
+	out := New(cols)
+	for i, r := range d.X {
+		row := make([]float64, len(cols))
+		for j, ix := range idx {
+			row[j] = r[ix]
+		}
+		out.Append(row, d.Y[i])
+	}
+	return out, nil
+}
+
+// Subset returns the rows at the given indices as a new dataset (rows are
+// deep-copied).
+func (d *Dataset) Subset(indices []int) *Dataset {
+	out := New(d.Cols)
+	for _, i := range indices {
+		out.Append(append([]float64(nil), d.X[i]...), d.Y[i])
+	}
+	return out
+}
+
+// Shuffle permutes rows in place using rng.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(d.X), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Split partitions the dataset into train and test sets with testFrac of
+// rows (rounded) in the test set, after a seeded shuffle of row indices.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
+	n := d.Len()
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	nTest := int(float64(n)*testFrac + 0.5)
+	return d.Subset(idx[nTest:]), d.Subset(idx[:nTest])
+}
+
+// StratifiedSplit partitions rows into train/test keeping the distribution
+// of Y similar in both parts (§IV-C): rows are sorted by Y, grouped into
+// contiguous strata of size ~1/testFrac, and one random row per stratum
+// goes to the test set.
+func (d *Dataset) StratifiedSplit(testFrac float64, seed int64) (train, test *Dataset) {
+	n := d.Len()
+	if n == 0 || testFrac <= 0 {
+		return d.Subset(seqIndices(n)), New(d.Cols)
+	}
+	if testFrac >= 1 {
+		return New(d.Cols), d.Subset(seqIndices(n))
+	}
+	order := seqIndices(n)
+	sort.Slice(order, func(a, b int) bool { return d.Y[order[a]] < d.Y[order[b]] })
+
+	rng := rand.New(rand.NewSource(seed))
+	stratum := int(1/testFrac + 0.5)
+	if stratum < 2 {
+		stratum = 2
+	}
+	var trainIdx, testIdx []int
+	for lo := 0; lo < n; lo += stratum {
+		hi := lo + stratum
+		if hi > n {
+			hi = n
+		}
+		pick := lo + rng.Intn(hi-lo)
+		for i := lo; i < hi; i++ {
+			if i == pick && hi-lo > 1 {
+				testIdx = append(testIdx, order[i])
+			} else {
+				trainIdx = append(trainIdx, order[i])
+			}
+		}
+	}
+	return d.Subset(trainIdx), d.Subset(testIdx)
+}
+
+func seqIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// WriteCSV writes the dataset with a header row; the target column is
+// written last under the name "y".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), d.Cols...), "y")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) < 1 || header[len(header)-1] != "y" {
+		return nil, fmt.Errorf("dataset: last column must be \"y\", got %v", header)
+	}
+	d := New(header[:len(header)-1])
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		row := make([]float64, len(rec)-1)
+		for j := range row {
+			if row[j], err = strconv.ParseFloat(rec[j], 64); err != nil {
+				return nil, fmt.Errorf("dataset: line %d col %d: %w", line, j, err)
+			}
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d target: %w", line, err)
+		}
+		d.Append(row, y)
+	}
+	return d, nil
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample(n int, seed int64) *Dataset {
+	d := New([]string{"a", "b"})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		d.Append([]float64{rng.Float64(), rng.NormFloat64()}, rng.ExpFloat64())
+	}
+	return d
+}
+
+func TestAppendAndLen(t *testing.T) {
+	d := New([]string{"x"})
+	if d.Len() != 0 {
+		t.Fatal("new dataset not empty")
+	}
+	d.Append([]float64{1}, 2)
+	if d.Len() != 1 || d.Y[0] != 2 || d.X[0][0] != 1 {
+		t.Fatalf("append failed: %+v", d)
+	}
+}
+
+func TestAppendWidthPanics(t *testing.T) {
+	d := New([]string{"x", "y"})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row width should panic")
+		}
+	}()
+	d.Append([]float64{1}, 0)
+}
+
+func TestColumn(t *testing.T) {
+	d := New([]string{"a", "b"})
+	d.Append([]float64{1, 2}, 0)
+	d.Append([]float64{3, 4}, 0)
+	b, err := d.Column("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 2 || b[1] != 4 {
+		t.Errorf("Column(b) = %v", b)
+	}
+	if _, err := d.Column("zzz"); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := New([]string{"a", "b", "c"})
+	d.Append([]float64{1, 2, 3}, 9)
+	s, err := d.Select([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X[0][0] != 3 || s.X[0][1] != 1 || s.Y[0] != 9 {
+		t.Errorf("Select gave %+v", s)
+	}
+	if _, err := d.Select([]string{"nope"}); err == nil {
+		t.Error("missing column should error")
+	}
+	// Mutating the selection must not affect the original.
+	s.X[0][0] = 100
+	if d.X[0][2] == 100 {
+		t.Error("Select shares storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := sample(5, 1)
+	c := d.Clone()
+	c.X[0][0] = 999
+	c.Y[0] = 999
+	if d.X[0][0] == 999 || d.Y[0] == 999 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	d := sample(100, 2)
+	train, test := d.Split(0.3, 7)
+	if train.Len() != 70 || test.Len() != 30 {
+		t.Errorf("split sizes = %d/%d, want 70/30", train.Len(), test.Len())
+	}
+	// Same seed is reproducible.
+	tr2, te2 := d.Split(0.3, 7)
+	if tr2.Len() != 70 || te2.Y[0] != test.Y[0] {
+		t.Error("split not reproducible with same seed")
+	}
+}
+
+func TestStratifiedSplitDistribution(t *testing.T) {
+	d := sample(400, 3)
+	train, test := d.StratifiedSplit(0.25, 1)
+	if got := train.Len() + test.Len(); got != 400 {
+		t.Fatalf("rows lost: %d", got)
+	}
+	frac := float64(test.Len()) / 400
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("test fraction = %v, want ~0.25", frac)
+	}
+	// Stratification: the medians of train and test targets should be close
+	// relative to the overall spread.
+	med := func(xs []float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	all := append([]float64(nil), d.Y...)
+	sort.Float64s(all)
+	spread := all[len(all)-1] - all[0]
+	if diff := math.Abs(med(train.Y) - med(test.Y)); diff > spread*0.2 {
+		t.Errorf("train/test medians differ by %v (spread %v) — stratification failed", diff, spread)
+	}
+}
+
+func TestStratifiedSplitEdgeCases(t *testing.T) {
+	d := sample(10, 4)
+	train, test := d.StratifiedSplit(0, 1)
+	if train.Len() != 10 || test.Len() != 0 {
+		t.Errorf("frac=0 gave %d/%d", train.Len(), test.Len())
+	}
+	train, test = d.StratifiedSplit(1, 1)
+	if train.Len() != 0 || test.Len() != 10 {
+		t.Errorf("frac=1 gave %d/%d", train.Len(), test.Len())
+	}
+	empty := New([]string{"a"})
+	train, test = empty.StratifiedSplit(0.3, 1)
+	if train.Len() != 0 || test.Len() != 0 {
+		t.Error("empty dataset split should be empty")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample(25, 5)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || len(got.Cols) != len(d.Cols) {
+		t.Fatalf("round trip changed shape: %d/%d", got.Len(), len(got.Cols))
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if got.X[i][j] != d.X[i][j] {
+				t.Fatalf("X[%d][%d] = %v, want %v", i, j, got.X[i][j], d.X[i][j])
+			}
+		}
+		if got.Y[i] != d.Y[i] {
+			t.Fatalf("Y[%d] = %v, want %v", i, got.Y[i], d.Y[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Error("header without y should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,y\nnot-a-number,2\n")); err == nil {
+		t.Error("bad float should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,y\n1,nan-ish\n")); err == nil {
+		t.Error("bad target should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestShuffleKeepsPairs(t *testing.T) {
+	d := New([]string{"v"})
+	for i := 0; i < 50; i++ {
+		d.Append([]float64{float64(i)}, float64(i)*10)
+	}
+	d.Shuffle(rand.New(rand.NewSource(9)))
+	for i := range d.X {
+		if d.Y[i] != d.X[i][0]*10 {
+			t.Fatalf("row %d decoupled from target", i)
+		}
+	}
+}
+
+// Property: stratified split conserves every (x, y) pair exactly once.
+func TestStratifiedSplitConservationProperty(t *testing.T) {
+	f := func(nRaw uint8, fracRaw uint8, seed int64) bool {
+		n := int(nRaw%120) + 1
+		frac := float64(fracRaw%90+5) / 100
+		d := sample(n, seed)
+		train, test := d.StratifiedSplit(frac, seed)
+		if train.Len()+test.Len() != n {
+			return false
+		}
+		count := map[float64]int{}
+		for _, y := range d.Y {
+			count[y]++
+		}
+		for _, y := range train.Y {
+			count[y]--
+		}
+		for _, y := range test.Y {
+			count[y]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedLab trains once at quick scale and is reused across tests in this
+// package (training dominates the cost).
+var sharedLab = NewLab(QuickScale())
+
+func runExp(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, &buf, sharedLab); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatalf("%s produced no output", id)
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	// Every paper table and figure must be present.
+	want := []string{"fig1", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "table3", "table4", "table5", "table6", "table7"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+		if Describe(id) == "" {
+			t.Errorf("%s has no description", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig999", &buf, sharedLab); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestPlatforms(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 2 {
+		t.Fatalf("%d platforms", len(ps))
+	}
+	if _, err := PlatformByName("Setonix"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PlatformByName("Fugaku"); err == nil {
+		t.Error("unknown platform should error")
+	}
+}
+
+func TestFig1ShowsOptimaBelowCoreCount(t *testing.T) {
+	out := runExp(t, "fig1")
+	// The headline claim: a majority of optima sit below 48 threads.
+	re := regexp.MustCompile(`below the 48-core default: (\d+)/(\d+)`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+	below, _ := strconv.Atoi(m[1])
+	total, _ := strconv.Atoi(m[2])
+	if below*2 < total {
+		t.Errorf("only %d/%d optima below core count — paper shape violated", below, total)
+	}
+}
+
+func TestFig4SkewnessShrinks(t *testing.T) {
+	out := runExp(t, "fig4")
+	// Parse the table: for heavily skewed features (skew before > 2), the
+	// transform must cut skewness by at least half.
+	lines := strings.Split(out, "\n")
+	checked := 0
+	for _, ln := range lines {
+		f := strings.Fields(ln)
+		if len(f) < 4 {
+			continue
+		}
+		before, err1 := strconv.ParseFloat(f[len(f)-2], 64)
+		after, err2 := strconv.ParseFloat(f[len(f)-1], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if before > 2 {
+			checked++
+			if abs(after) > before/2 {
+				t.Errorf("feature row %q: skew %v -> %v (not normalised)", ln, before, after)
+			}
+		}
+	}
+	if checked < 3 {
+		t.Errorf("only %d heavily-skewed features found; expected several", checked)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestFig7CoreAffinityWinsAtLowCounts(t *testing.T) {
+	out := runExp(t, "fig7")
+	// Every row with threads <= 16 must show core-based winning on both
+	// platforms ("yes" in the last column).
+	for _, ln := range strings.Split(out, "\n") {
+		f := strings.Fields(ln)
+		if len(f) != 4 {
+			continue
+		}
+		th, err := strconv.Atoi(f[0])
+		if err != nil || th > 16 {
+			continue
+		}
+		if f[3] != "yes" {
+			t.Errorf("threads=%d: core-based did not win: %q", th, ln)
+		}
+	}
+}
+
+func TestFig8MassBelowHalfMax(t *testing.T) {
+	out := runExp(t, "fig8")
+	re := regexp.MustCompile(`below half the maximum \(128\): (\d+)/(\d+)`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+	below, _ := strconv.Atoi(m[1])
+	total, _ := strconv.Atoi(m[2])
+	if float64(below) < 0.55*float64(total) {
+		t.Errorf("small-dim optima below 128: %d/%d, want >= 55%%", below, total)
+	}
+}
+
+func TestFig9RendersAllPairs(t *testing.T) {
+	out := runExp(t, "fig9")
+	for _, pair := range []string{"[m x k]", "[m x n]", "[k x n]"} {
+		if strings.Count(out, pair) != 2 { // once per platform
+			t.Errorf("pair %s missing: count %d", pair, strings.Count(out, pair))
+		}
+	}
+}
+
+func TestTables3And4ModelOrdering(t *testing.T) {
+	for _, id := range []string{"table3", "table4"} {
+		out := runExp(t, id)
+		for _, model := range []string{"Linear Regression", "ElasticNet", "Bayes Regression",
+			"Decision Tree", "Random Forest", "AdaBoost", "XGBoost", "LightGBM"} {
+			if !strings.Contains(out, model) {
+				t.Errorf("%s: model %q missing", id, model)
+			}
+		}
+		// The worst normalised RMSE must be 1.00 by construction.
+		if !strings.Contains(out, "1.00") {
+			t.Errorf("%s: no 1.00 normalised RMSE", id)
+		}
+	}
+}
+
+func TestTable5ShapeChecks(t *testing.T) {
+	out := runExp(t, "table5")
+	stats := parseStatRow(t, out, "Mean Speedup")
+	// Columns: Setonix 0-500, Setonix 0-100, Gadi 0-500, Gadi 0-100.
+	if len(stats) != 4 {
+		t.Fatalf("mean row has %d cells: %v", len(stats), stats)
+	}
+	set500, set100, gadi500, gadi100 := stats[0], stats[1], stats[2], stats[3]
+	// Paper shape: all means >= ~1, 0-100 >= 0-500 per platform, Setonix >= Gadi.
+	if set100 < set500*0.95 {
+		t.Errorf("Setonix 0-100 mean %v should be >= 0-500 mean %v", set100, set500)
+	}
+	if gadi100 < gadi500*0.9 {
+		t.Errorf("Gadi 0-100 mean %v should be >= 0-500 mean %v", gadi100, gadi500)
+	}
+	if set500 < gadi500*0.9 {
+		t.Errorf("Setonix 0-500 mean %v should be >= Gadi %v", set500, gadi500)
+	}
+	if set500 < 1.0 || gadi500 < 0.9 {
+		t.Errorf("means too low: setonix %v gadi %v", set500, gadi500)
+	}
+}
+
+func parseStatRow(t *testing.T, out, name string) []float64 {
+	t.Helper()
+	for _, ln := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(ln), name) {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(ln), name))
+		var vals []float64
+		for _, f := range strings.Fields(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err == nil {
+				vals = append(vals, v)
+			}
+		}
+		return vals
+	}
+	t.Fatalf("row %q missing:\n%s", name, out)
+	return nil
+}
+
+func TestTable6Runs(t *testing.T) {
+	out := runExp(t, "table6")
+	if !strings.Contains(out, "hyper-threading off") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	stats := parseStatRow(t, out, "Mean Speedup")
+	if len(stats) != 4 {
+		t.Fatalf("mean row: %v", stats)
+	}
+	for i, v := range stats {
+		if v < 0.8 || v > 20 {
+			t.Errorf("column %d mean %v implausible", i, v)
+		}
+	}
+}
+
+func TestTable7SkinnyShapesCollapse(t *testing.T) {
+	out := runExp(t, "table7")
+	if !strings.Contains(out, "64,2048,64") || !strings.Contains(out, "64,64,4096") {
+		t.Fatalf("cases missing:\n%s", out)
+	}
+	// ML threads for 64,2048,64 must be far below 96.
+	re := regexp.MustCompile(`64,2048,64\s+with ML\s+(\d+)`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("ML row missing:\n%s", out)
+	}
+	th, _ := strconv.Atoi(m[1])
+	if th > 48 {
+		t.Errorf("ML chose %d threads for 64,2048,64; paper chose 14", th)
+	}
+}
+
+func TestFig11And12BucketRatios(t *testing.T) {
+	for _, id := range []string{"fig11", "fig12"} {
+		out := runExp(t, id)
+		if !strings.Contains(out, "0-100") || !strings.Contains(out, "400-500") {
+			t.Errorf("%s: buckets missing:\n%s", id, out)
+		}
+		// The 0-100 bucket ratio (ML/base) must favour ML.
+		for _, ln := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(strings.TrimSpace(ln), "0-100") {
+				continue
+			}
+			f := strings.Fields(ln)
+			ratio, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				continue
+			}
+			// At quick scale the 0-100 bucket holds only a handful of
+			// holdout shapes and the reduced model occasionally loses a few
+			// per cent on marginal ones; require near-parity here. The
+			// default-scale bench run shows the paper's >1 ratios.
+			if ratio < 0.9 {
+				t.Errorf("%s: 0-100 MB ratio %v — ML far behind on small shapes", id, ratio)
+			}
+		}
+	}
+}
+
+func TestFig13And14PredesignedGrid(t *testing.T) {
+	for _, id := range []string{"fig13", "fig14"} {
+		out := runExp(t, id)
+		if strings.Count(out, "n,k (m=") != 24 { // 4 fixed values x 6 sweep rows
+			t.Errorf("%s: expected 24 'n,k (m=...)' rows, got %d", id, strings.Count(out, "n,k (m="))
+		}
+		if !strings.Contains(out, "largest speedup") {
+			t.Errorf("%s: summary missing", id)
+		}
+	}
+	// Fig 14 must reproduce the extreme-speedup regime on at least one
+	// skinny Gadi shape.
+	out := runExp(t, "fig14")
+	re := regexp.MustCompile(`largest speedup: ([\d.]+)x`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatal("largest-speedup line missing")
+	}
+	sp, _ := strconv.ParseFloat(m[1], 64)
+	if sp < 5 {
+		t.Errorf("largest Gadi predesigned speedup %v, want >= 5 (paper: 81.6)", sp)
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	out := runExp(t, "fig10")
+	if !strings.Contains(out, "accelerated shapes") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	for _, id := range []string{"ablation-preproc", "ablation-features", "ablation-target"} {
+		out := runExp(t, id)
+		if !strings.Contains(out, "Ablation") {
+			t.Errorf("%s: no ablation header:\n%s", id, out)
+		}
+	}
+}
+
+func TestHoldoutAgreement(t *testing.T) {
+	p, _ := PlatformByName("Gadi")
+	res, err := sharedLab.Train(p, 500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout, err := sharedLab.Holdout(p, 500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := holdoutChoiceAgreement(res.Library, holdout); frac < 0.5 {
+		t.Errorf("only %.0f%% of holdout choices within 2x of optimum", frac*100)
+	}
+}
+
+func TestScales(t *testing.T) {
+	if s := DefaultScale(); s.TrainShapes < 100 || s.HoldoutShapes != 174 {
+		t.Errorf("DefaultScale = %+v", s)
+	}
+	if s := PaperScale(); s.TrainShapes != 1763 || s.Iters != 10 {
+		t.Errorf("PaperScale = %+v", s)
+	}
+	if s := QuickScale(); !s.QuickModels {
+		t.Errorf("QuickScale must use quick models")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner is one experiment generator.
+type Runner func(w io.Writer, lab *Lab) error
+
+// registry maps experiment IDs to generators, with a short description.
+var registry = map[string]struct {
+	Run  Runner
+	Desc string
+}{
+	"fig1":              {Fig1, "histogram of optimal thread counts (Gadi, <=100 MB)"},
+	"fig4":              {Fig4, "feature skewness before/after Yeo-Johnson (Setonix)"},
+	"fig7":              {Fig7, "core- vs thread-based affinity (both platforms)"},
+	"fig8":              {Fig8, "optimal-thread histogram, min dim < 1000 (Setonix)"},
+	"fig9":              {Fig9, "optimal-thread heatmaps vs (m,k,n) (both platforms)"},
+	"table3":            {Table3, "model comparison on Setonix (Table III)"},
+	"table4":            {Table4, "model comparison on Gadi (Table IV)"},
+	"table5":            {Table5, "speedup statistics with hyper-threading (Table V)"},
+	"table6":            {Table6, "speedup statistics without hyper-threading (Table VI)"},
+	"fig10":             {Fig10, "speedup heatmaps vs (m,k,n) (both platforms)"},
+	"fig11":             {Fig11, "GFLOPS by memory footprint (Setonix, Fig 11)"},
+	"fig12":             {Fig12, "GFLOPS by memory footprint (Gadi, Fig 12)"},
+	"fig13":             {Fig13, "GFLOPS on predesigned shapes (Setonix, Fig 13)"},
+	"fig14":             {Fig14, "GFLOPS on predesigned shapes (Gadi, Fig 14)"},
+	"table7":            {Table7, "profiling breakdown of two skinny GEMMs (Table VII)"},
+	"ablation-preproc":  {AblationPreproc, "ablation: preprocessing stack"},
+	"ablation-features": {AblationFeatures, "ablation: Group 1 vs full feature set"},
+	"ablation-target":   {AblationTarget, "ablation: runtime-argmin vs direct regression"},
+}
+
+// IDs returns all experiment IDs in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment ID.
+func Describe(id string) string { return registry[id].Desc }
+
+// Run executes one experiment by ID.
+func Run(id string, w io.Writer, lab *Lab) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return e.Run(w, lab)
+}
+
+// RunAll executes every experiment in order, writing a banner between them.
+// It keeps going after individual failures and returns the first error.
+func RunAll(w io.Writer, lab *Lab) error {
+	var firstErr error
+	for _, id := range IDs() {
+		fmt.Fprintf(w, "\n================ %s: %s ================\n", id, Describe(id))
+		if err := Run(id, w, lab); err != nil {
+			fmt.Fprintf(w, "ERROR: %v\n", err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,226 @@
+// Package mat provides dense row-major matrices for the GEMM substrate.
+//
+// Matrices are backed by flat slices whose first element is aligned to a
+// 64-byte boundary (matching the paper's memalign(64, ...) allocation, which
+// assists vector loads and avoids false sharing on cache-line granularity).
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"unsafe"
+)
+
+const alignBytes = 64
+
+// F32 is a dense row-major matrix of float32 values. Rows*Stride elements of
+// Data back the matrix; Stride >= Cols (leading dimension, as LDA/LDB/LDC in
+// the BLAS interface).
+type F32 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float32
+}
+
+// F64 is the float64 counterpart of F32.
+type F64 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// alignedF32 allocates n float32 values whose first element sits on a
+// 64-byte boundary.
+func alignedF32(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	const elem = 4
+	pad := alignBytes / elem
+	raw := make([]float32, n+pad)
+	off := 0
+	addr := uintptr(unsafe.Pointer(&raw[0]))
+	if rem := addr % alignBytes; rem != 0 {
+		off = int((alignBytes - rem) / elem)
+	}
+	return raw[off : off+n : off+n]
+}
+
+// alignedF64 allocates n float64 values whose first element sits on a
+// 64-byte boundary.
+func alignedF64(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	const elem = 8
+	pad := alignBytes / elem
+	raw := make([]float64, n+pad)
+	off := 0
+	addr := uintptr(unsafe.Pointer(&raw[0]))
+	if rem := addr % alignBytes; rem != 0 {
+		off = int((alignBytes - rem) / elem)
+	}
+	return raw[off : off+n : off+n]
+}
+
+// NewF32 allocates a zeroed rows × cols float32 matrix with Stride == cols.
+// It panics if rows or cols is negative.
+func NewF32(rows, cols int) *F32 {
+	checkDims(rows, cols)
+	return &F32{Rows: rows, Cols: cols, Stride: cols, Data: alignedF32(rows * cols)}
+}
+
+// NewF64 allocates a zeroed rows × cols float64 matrix with Stride == cols.
+func NewF64(rows, cols int) *F64 {
+	checkDims(rows, cols)
+	return &F64{Rows: rows, Cols: cols, Stride: cols, Data: alignedF64(rows * cols)}
+}
+
+func checkDims(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %d×%d", rows, cols))
+	}
+}
+
+// At returns the element at row i, column j.
+func (m *F32) At(i, j int) float32 { return m.Data[i*m.Stride+j] }
+
+// Set stores v at row i, column j.
+func (m *F32) Set(i, j int, v float32) { m.Data[i*m.Stride+j] = v }
+
+// At returns the element at row i, column j.
+func (m *F64) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set stores v at row i, column j.
+func (m *F64) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// FillRandom fills the matrix with uniform values in [-1, 1) from rng.
+func (m *F32) FillRandom(rng *rand.Rand) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = float32(2*rng.Float64() - 1)
+		}
+	}
+}
+
+// FillRandom fills the matrix with uniform values in [-1, 1) from rng.
+func (m *F64) FillRandom(rng *rand.Rand) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = 2*rng.Float64() - 1
+		}
+	}
+}
+
+// Fill sets every element of the matrix to v.
+func (m *F32) Fill(v float32) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Fill sets every element of the matrix to v.
+func (m *F64) Fill(v float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Clone returns a deep copy with a compact stride.
+func (m *F32) Clone() *F32 {
+	c := NewF32(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(c.Data[i*c.Stride:i*c.Stride+c.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return c
+}
+
+// Clone returns a deep copy with a compact stride.
+func (m *F64) Clone() *F64 {
+	c := NewF64(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(c.Data[i*c.Stride:i*c.Stride+c.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return c
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between m
+// and other. It panics if shapes differ.
+func (m *F32) MaxAbsDiff(other *F32) float64 {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("mat: shape mismatch %d×%d vs %d×%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	var max float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			d := math.Abs(float64(m.At(i, j)) - float64(other.At(i, j)))
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between m
+// and other. It panics if shapes differ.
+func (m *F64) MaxAbsDiff(other *F64) float64 {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("mat: shape mismatch %d×%d vs %d×%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	var max float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			d := math.Abs(m.At(i, j) - other.At(i, j))
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// GemmBytesF32 returns the aggregate memory footprint in bytes of an SGEMM
+// with the given dimensions: 4*(m*k + k*n + m*n), as defined in §IV-B.
+func GemmBytesF32(m, k, n int) int64 {
+	return 4 * (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n))
+}
+
+// GemmBytesF64 returns the aggregate memory footprint in bytes of a DGEMM:
+// 8*(m*k + k*n + m*n).
+func GemmBytesF64(m, k, n int) int64 {
+	return 8 * (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n))
+}
+
+// GemmFlops returns the floating-point operation count of C ← αAB + βC,
+// counted as 2*m*k*n (one multiply plus one add per inner-product term).
+func GemmFlops(m, k, n int) int64 {
+	return 2 * int64(m) * int64(k) * int64(n)
+}
+
+// Aligned reports whether the first element of the backing slice is on a
+// 64-byte boundary. Empty matrices are trivially aligned.
+func (m *F32) Aligned() bool {
+	if len(m.Data) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&m.Data[0]))%alignBytes == 0
+}
+
+// Aligned reports whether the first element of the backing slice is on a
+// 64-byte boundary. Empty matrices are trivially aligned.
+func (m *F64) Aligned() bool {
+	if len(m.Data) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&m.Data[0]))%alignBytes == 0
+}

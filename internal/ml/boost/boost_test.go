@@ -1,0 +1,217 @@
+package boost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/tree"
+)
+
+func friedman(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := make([]float64, 5)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		X[i] = x
+		y[i] = 10*math.Sin(math.Pi*x[0]*x[1]) + 20*(x[2]-0.5)*(x[2]-0.5) +
+			10*x[3] + 5*x[4] + noise*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func TestXGBBeatsSingleTree(t *testing.T) {
+	X, y := friedman(500, 0.5, 1)
+	Xt, yt := friedman(250, 0.5, 2)
+	single := tree.NewRegressor(tree.Params{MaxDepth: 6})
+	if err := single.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	xgb := NewXGB(XGBParams{NRounds: 150, MaxDepth: 4})
+	if err := xgb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sRMSE := ml.RMSE(ml.PredictBatch(single, Xt), yt)
+	xRMSE := ml.RMSE(ml.PredictBatch(xgb, Xt), yt)
+	if xRMSE >= sRMSE*0.8 {
+		t.Errorf("XGB RMSE %v vs tree %v: insufficient improvement", xRMSE, sRMSE)
+	}
+	if xgb.Name() != "XGBoost" {
+		t.Errorf("Name = %q", xgb.Name())
+	}
+}
+
+func TestXGBTrainingErrorDecreasesWithRounds(t *testing.T) {
+	X, y := friedman(300, 0.2, 3)
+	small := NewXGB(XGBParams{NRounds: 5, MaxDepth: 4})
+	big := NewXGB(XGBParams{NRounds: 120, MaxDepth: 4})
+	if err := small.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sr := ml.RMSE(ml.PredictBatch(small, X), y)
+	br := ml.RMSE(ml.PredictBatch(big, X), y)
+	if br >= sr {
+		t.Errorf("more rounds did not reduce training RMSE: %v vs %v", br, sr)
+	}
+}
+
+func TestXGBLambdaRegularises(t *testing.T) {
+	X, y := friedman(200, 1.0, 4)
+	loose := NewXGB(XGBParams{NRounds: 60, MaxDepth: 4, Lambda: 1e-6})
+	tight := NewXGB(XGBParams{NRounds: 60, MaxDepth: 4, Lambda: 1e4})
+	if err := loose.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	lr := ml.RMSE(ml.PredictBatch(loose, X), y)
+	tr := ml.RMSE(ml.PredictBatch(tight, X), y)
+	if tr <= lr {
+		t.Errorf("huge lambda should underfit training data: %v vs %v", tr, lr)
+	}
+}
+
+func TestXGBSubsampleStillLearns(t *testing.T) {
+	X, y := friedman(400, 0.3, 5)
+	xgb := NewXGB(XGBParams{NRounds: 100, MaxDepth: 4, Subsample: 0.7, Seed: 1})
+	if err := xgb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if rmse := ml.RMSE(ml.PredictBatch(xgb, X), y); rmse > 1.5 {
+		t.Errorf("subsampled XGB training RMSE %v too high", rmse)
+	}
+}
+
+func TestXGBConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{5, 5, 5}
+	xgb := NewXGB(XGBParams{NRounds: 10})
+	if err := xgb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := xgb.Predict([]float64{9}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("constant target predict = %v", got)
+	}
+}
+
+func TestXGBRejectsBadInput(t *testing.T) {
+	if err := NewXGB(XGBParams{}).Fit(nil, nil); err == nil {
+		t.Error("empty fit should error")
+	}
+}
+
+func TestLGBMBeatsSingleTree(t *testing.T) {
+	X, y := friedman(500, 0.5, 6)
+	Xt, yt := friedman(250, 0.5, 7)
+	single := tree.NewRegressor(tree.Params{MaxDepth: 6})
+	if err := single.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	lgbm := NewLGBM(LGBMParams{NRounds: 120})
+	if err := lgbm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sRMSE := ml.RMSE(ml.PredictBatch(single, Xt), yt)
+	lRMSE := ml.RMSE(ml.PredictBatch(lgbm, Xt), yt)
+	if lRMSE >= sRMSE {
+		t.Errorf("LGBM RMSE %v not better than tree %v", lRMSE, sRMSE)
+	}
+	if lgbm.Name() != "LightGBM" {
+		t.Errorf("Name = %q", lgbm.Name())
+	}
+}
+
+func TestLGBMLeafLimit(t *testing.T) {
+	X, y := friedman(300, 0.2, 8)
+	lgbm := NewLGBM(LGBMParams{NRounds: 3, MaxLeaves: 4})
+	if err := lgbm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for ti, tr := range lgbm.Trees {
+		leaves := 0
+		for _, n := range tr {
+			if n.Feature < 0 {
+				leaves++
+			}
+		}
+		if leaves > 4 {
+			t.Errorf("tree %d has %d leaves, limit 4", ti, leaves)
+		}
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	edges := []float64{1, 3, 7}
+	cases := map[float64]int{0: 0, 1: 0, 2: 1, 3: 1, 5: 2, 7: 2, 100: 3}
+	for v, want := range cases {
+		if got := binOf(edges, v); got != want {
+			t.Errorf("binOf(%v) = %d, want %d", v, got, want)
+		}
+	}
+	if got := binOf(nil, 5); got != 0 {
+		t.Errorf("binOf with no edges = %d", got)
+	}
+}
+
+func TestQuantileEdgesMonotone(t *testing.T) {
+	sorted := []float64{1, 1, 1, 2, 2, 3, 5, 5, 8, 13}
+	edges := quantileEdges(sorted, 4)
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("edges not strictly increasing: %v", edges)
+		}
+	}
+}
+
+func TestBoostPersistence(t *testing.T) {
+	X, y := friedman(200, 0.3, 9)
+	xgb := NewXGB(XGBParams{NRounds: 20, MaxDepth: 3})
+	if err := xgb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	lgbm := NewLGBM(LGBMParams{NRounds: 20})
+	if err := lgbm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for kind, model := range map[string]ml.Regressor{"xgb": xgb, "lgbm": lgbm} {
+		blob, err := ml.Marshal(kind, model)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		back, err := ml.Unmarshal(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for i := 0; i < 20; i++ {
+			if got, want := back.Predict(X[i]), model.Predict(X[i]); math.Abs(got-want) > 1e-12 {
+				t.Errorf("%s: restored predict %v != %v", kind, got, want)
+			}
+		}
+	}
+}
+
+func TestXGBDeterminism(t *testing.T) {
+	X, y := friedman(200, 0.3, 10)
+	a := NewXGB(XGBParams{NRounds: 30, Subsample: 0.8, Seed: 5})
+	b := NewXGB(XGBParams{NRounds: 30, Subsample: 0.8, Seed: 5})
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if a.Predict(X[i]) != b.Predict(X[i]) {
+			t.Fatal("same-seed XGB models disagree")
+		}
+	}
+}

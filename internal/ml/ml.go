@@ -1,0 +1,191 @@
+// Package ml defines the regressor interface shared by all eight candidate
+// models of Tables III/IV, the evaluation metrics, and the persistence
+// envelope used to save trained models at install time and reload them in
+// the runtime library.
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Regressor is a trainable model mapping a feature vector to a scalar
+// prediction (GEMM runtime).
+type Regressor interface {
+	// Name returns the model's display name as used in Tables III/IV.
+	Name() string
+	// Fit trains on rows X with targets y. Implementations must not retain
+	// the caller's slices.
+	Fit(X [][]float64, y []float64) error
+	// Predict evaluates one feature vector. Calling Predict before a
+	// successful Fit is a programmer error and may panic.
+	Predict(x []float64) float64
+}
+
+// PredictBatch evaluates many rows with any Regressor.
+func PredictBatch(r Regressor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+// ValidateXY checks the shape invariants shared by every Fit implementation.
+func ValidateXY(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d targets", len(X), len(y))
+	}
+	w := len(X[0])
+	if w == 0 {
+		return fmt.Errorf("ml: rows have no features")
+	}
+	for i, r := range X {
+		if len(r) != w {
+			return fmt.Errorf("ml: row %d has width %d, want %d", i, len(r), w)
+		}
+	}
+	return nil
+}
+
+// RMSE returns the root mean squared error of predictions against targets.
+func RMSE(pred, y []float64) float64 {
+	if len(pred) != len(y) {
+		panic("ml: RMSE length mismatch")
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	var ss float64
+	for i := range y {
+		d := pred[i] - y[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(y)))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, y []float64) float64 {
+	if len(pred) != len(y) {
+		panic("ml: MAE length mismatch")
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range y {
+		s += math.Abs(pred[i] - y[i])
+	}
+	return s / float64(len(y))
+}
+
+// R2 returns the coefficient of determination.
+func R2(pred, y []float64) float64 {
+	if len(pred) != len(y) {
+		panic("ml: R2 length mismatch")
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		d := pred[i] - y[i]
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Normalise divides each value by the maximum of the set, producing the
+// "normalised test RMSE" convention of Tables III/IV where the worst model
+// scores 1.00.
+func Normalise(values map[string]float64) map[string]float64 {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	out := make(map[string]float64, len(values))
+	for k, v := range values {
+		if max > 0 {
+			out[k] = v / max
+		} else {
+			out[k] = 0
+		}
+	}
+	return out
+}
+
+// SortedNames returns map keys in sorted order (stable table rendering).
+func SortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Envelope wraps a trained model for JSON persistence: the concrete type is
+// recorded by Kind and restored via the factory registry below.
+type Envelope struct {
+	Kind  string          `json:"kind"`
+	Model json.RawMessage `json:"model"`
+}
+
+// factories maps Envelope.Kind to a constructor of the zero model.
+var factories = map[string]func() Regressor{}
+
+// RegisterKind installs a persistence factory for a model kind. It panics on
+// duplicate registration — kinds are compile-time constants.
+func RegisterKind(kind string, fn func() Regressor) {
+	if _, dup := factories[kind]; dup {
+		panic("ml: duplicate model kind " + kind)
+	}
+	factories[kind] = fn
+}
+
+// Marshal serialises a trained model into an envelope. The model's exported
+// fields must fully describe its trained state.
+func Marshal(kind string, r Regressor) ([]byte, error) {
+	if _, ok := factories[kind]; !ok {
+		return nil, fmt.Errorf("ml: unregistered model kind %q", kind)
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("ml: marshal %s: %w", kind, err)
+	}
+	return json.Marshal(Envelope{Kind: kind, Model: raw})
+}
+
+// Unmarshal restores a model from an envelope produced by Marshal.
+func Unmarshal(data []byte) (Regressor, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ml: decode envelope: %w", err)
+	}
+	fn, ok := factories[env.Kind]
+	if !ok {
+		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
+	}
+	r := fn()
+	if err := json.Unmarshal(env.Model, r); err != nil {
+		return nil, fmt.Errorf("ml: decode %s: %w", env.Kind, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,133 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+type constModel struct {
+	V float64 `json:"v"`
+}
+
+func (c *constModel) Name() string                         { return "Const" }
+func (c *constModel) Fit(X [][]float64, y []float64) error { return nil }
+func (c *constModel) Predict(x []float64) float64          { return c.V }
+
+func init() { RegisterKind("const-test", func() Regressor { return &constModel{} }) }
+
+func TestMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	y := []float64{1, 2, 5}
+	if got := RMSE(pred, y); math.Abs(got-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := MAE(pred, y); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("MAE = %v", got)
+	}
+	if got := R2(y, y); got != 1 {
+		t.Errorf("perfect R2 = %v", got)
+	}
+	if got := R2([]float64{2, 2, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("mean-predictor R2 = %v, want 0", got)
+	}
+	if RMSE(nil, nil) != 0 || MAE(nil, nil) != 0 || R2(nil, nil) != 0 {
+		t.Error("empty metrics should be 0")
+	}
+}
+
+func TestMetricsPanicOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"RMSE": func() { RMSE([]float64{1}, []float64{1, 2}) },
+		"MAE":  func() { MAE([]float64{1}, []float64{1, 2}) },
+		"R2":   func() { R2([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateXY(t *testing.T) {
+	if err := ValidateXY(nil, nil); err == nil {
+		t.Error("empty X should error")
+	}
+	if err := ValidateXY([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if err := ValidateXY([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("zero-width rows should error")
+	}
+	if err := ValidateXY([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	if err := ValidateXY([][]float64{{1}, {2}}, []float64{1, 2}); err != nil {
+		t.Errorf("valid data rejected: %v", err)
+	}
+}
+
+func TestNormalise(t *testing.T) {
+	out := Normalise(map[string]float64{"a": 1, "b": 4, "c": 2})
+	if out["b"] != 1 || out["a"] != 0.25 || out["c"] != 0.5 {
+		t.Errorf("Normalise = %v", out)
+	}
+	zero := Normalise(map[string]float64{"a": 0})
+	if zero["a"] != 0 {
+		t.Errorf("all-zero Normalise = %v", zero)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	names := SortedNames(map[string]int{"z": 1, "a": 2, "m": 3})
+	if names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Errorf("SortedNames = %v", names)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	m := &constModel{V: 7}
+	out := PredictBatch(m, [][]float64{{1}, {2}, {3}})
+	if len(out) != 3 || out[0] != 7 || out[2] != 7 {
+		t.Errorf("PredictBatch = %v", out)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	m := &constModel{V: 3.5}
+	blob, err := Marshal("const-test", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Predict(nil); got != 3.5 {
+		t.Errorf("restored Predict = %v, want 3.5", got)
+	}
+}
+
+func TestPersistenceErrors(t *testing.T) {
+	if _, err := Marshal("never-registered", &constModel{}); err == nil {
+		t.Error("unregistered kind should error")
+	}
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Error("corrupt envelope should error")
+	}
+	if _, err := Unmarshal([]byte(`{"kind":"nope","model":{}}`)); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestRegisterKindDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	RegisterKind("const-test", func() Regressor { return &constModel{} })
+}

@@ -1,0 +1,126 @@
+package preprocess
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LOFScores computes the Local Outlier Factor (Breunig et al., 2000) of each
+// row with k neighbours. A score near 1 means the point sits in a region of
+// density similar to its neighbourhood; scores well above 1 flag local
+// outliers that global statistical filters miss (§II-C).
+//
+// The implementation is the standard O(n²) exact algorithm: pairwise
+// Euclidean distances, k-distance neighbourhoods, reachability distances,
+// local reachability density, and the LOF ratio. The paper applies it after
+// standardisation because the density estimate assumes comparable scales.
+func LOFScores(X [][]float64, k int) ([]float64, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("preprocess: LOF on empty data")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("preprocess: LOF needs k >= 1, got %d", k)
+	}
+	if k >= n {
+		k = n - 1
+	}
+	if k == 0 {
+		// Single point: trivially not an outlier.
+		return []float64{1}, nil
+	}
+
+	// Pairwise distances and k-nearest neighbourhoods.
+	type neighbour struct {
+		idx  int
+		dist float64
+	}
+	neighbours := make([][]neighbour, n)
+	for i := 0; i < n; i++ {
+		all := make([]neighbour, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			all = append(all, neighbour{j, euclid(X[i], X[j])})
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].dist < all[b].dist })
+		// k-distance neighbourhood includes ties at the k-th distance.
+		kd := all[k-1].dist
+		cut := k
+		for cut < len(all) && all[cut].dist == kd {
+			cut++
+		}
+		neighbours[i] = all[:cut]
+	}
+
+	kDist := make([]float64, n)
+	for i := range neighbours {
+		kDist[i] = neighbours[i][len(neighbours[i])-1].dist
+	}
+
+	// Local reachability density.
+	lrd := make([]float64, n)
+	for i := range neighbours {
+		var sum float64
+		for _, nb := range neighbours[i] {
+			reach := nb.dist
+			if kDist[nb.idx] > reach {
+				reach = kDist[nb.idx]
+			}
+			sum += reach
+		}
+		if sum == 0 {
+			lrd[i] = math.Inf(1) // duplicated points: infinite density
+		} else {
+			lrd[i] = float64(len(neighbours[i])) / sum
+		}
+	}
+
+	// LOF ratio.
+	scores := make([]float64, n)
+	for i := range neighbours {
+		if math.IsInf(lrd[i], 1) {
+			scores[i] = 1
+			continue
+		}
+		var sum float64
+		for _, nb := range neighbours[i] {
+			if math.IsInf(lrd[nb.idx], 1) {
+				// Neighbour in a zero-radius cluster dominates the ratio;
+				// treat as very dense.
+				sum += 1e12
+			} else {
+				sum += lrd[nb.idx]
+			}
+		}
+		scores[i] = sum / float64(len(neighbours[i])) / lrd[i]
+	}
+	return scores, nil
+}
+
+// FilterLOF returns the indices of rows whose LOF score is at most
+// threshold. Typical settings: k=20, threshold=1.5.
+func FilterLOF(X [][]float64, k int, threshold float64) ([]int, error) {
+	scores, err := LOFScores(X, k)
+	if err != nil {
+		return nil, err
+	}
+	keep := make([]int, 0, len(X))
+	for i, s := range scores {
+		if s <= threshold {
+			keep = append(keep, i)
+		}
+	}
+	return keep, nil
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

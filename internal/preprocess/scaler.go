@@ -1,0 +1,52 @@
+package preprocess
+
+import (
+	"fmt"
+	"math"
+)
+
+// StandardScaler is a fitted per-feature standardisation: z = (x - Mean)/Std.
+type StandardScaler struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// FitScaler computes per-column means and (population) standard deviations.
+// Constant columns get Std 1 so their transform is a pure shift.
+func FitScaler(X [][]float64) (StandardScaler, error) {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return StandardScaler{}, fmt.Errorf("preprocess: scaler fit on empty data")
+	}
+	w := len(X[0])
+	s := StandardScaler{Mean: make([]float64, w), Std: make([]float64, w)}
+	n := float64(len(X))
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform standardises row in place and returns it.
+func (s StandardScaler) Transform(row []float64) []float64 {
+	for j := range row {
+		row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+	}
+	return row
+}

@@ -1,0 +1,116 @@
+// Package preprocess implements the paper's §II-C / §IV-C data-preparation
+// stack: the Yeo-Johnson power transform with maximum-likelihood λ
+// estimation, feature standardisation, Local Outlier Factor row filtering,
+// and the 80%-correlation feature pruning — composed into a serialisable
+// Pipeline that the runtime library replays on each prediction.
+package preprocess
+
+import (
+	"fmt"
+	"math"
+)
+
+// YeoJohnson is a fitted single-feature Yeo-Johnson power transform.
+type YeoJohnson struct {
+	Lambda float64 `json:"lambda"`
+}
+
+// Transform applies ψ(λ, y): the Yeo-Johnson mapping, defined for all real
+// inputs (unlike Box-Cox, which requires positive values — §II-C).
+func (t YeoJohnson) Transform(y float64) float64 {
+	l := t.Lambda
+	if y >= 0 {
+		if math.Abs(l) < 1e-12 {
+			return math.Log1p(y)
+		}
+		return (math.Pow(y+1, l) - 1) / l
+	}
+	if math.Abs(l-2) < 1e-12 {
+		return -math.Log1p(-y)
+	}
+	return -(math.Pow(1-y, 2-l) - 1) / (2 - l)
+}
+
+// Inverse applies the inverse mapping ψ⁻¹(λ, z).
+func (t YeoJohnson) Inverse(z float64) float64 {
+	l := t.Lambda
+	if z >= 0 {
+		if math.Abs(l) < 1e-12 {
+			return math.Expm1(z)
+		}
+		return math.Pow(z*l+1, 1/l) - 1
+	}
+	if math.Abs(l-2) < 1e-12 {
+		return -math.Expm1(-z)
+	}
+	return 1 - math.Pow(1-z*(2-l), 1/(2-l))
+}
+
+// FitYeoJohnson estimates λ by maximum likelihood (§II-C) using
+// golden-section search over λ ∈ [-5, 5], the same bracket scipy uses by
+// default. It returns an error on empty or constant input, for which no
+// informative λ exists.
+func FitYeoJohnson(xs []float64) (YeoJohnson, error) {
+	if len(xs) == 0 {
+		return YeoJohnson{}, fmt.Errorf("preprocess: Yeo-Johnson fit on empty data")
+	}
+	constant := true
+	for _, v := range xs[1:] {
+		if v != xs[0] {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		// Identity transform: λ=1 maps y to y (up to an additive constant).
+		return YeoJohnson{Lambda: 1}, nil
+	}
+
+	// Profile log-likelihood of λ (up to constants):
+	//   ll(λ) = -n/2·ln(var(ψ_λ(x))) + (λ-1)·Σ sign(x)·ln(|x|+1)
+	n := float64(len(xs))
+	var jacobian float64
+	for _, v := range xs {
+		jacobian += math.Copysign(math.Log1p(math.Abs(v)), v)
+	}
+	ll := func(lambda float64) float64 {
+		t := YeoJohnson{Lambda: lambda}
+		var sum, sumSq float64
+		for _, v := range xs {
+			z := t.Transform(v)
+			sum += z
+			sumSq += z * z
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance <= 0 || math.IsNaN(variance) || math.IsInf(variance, 0) {
+			return math.Inf(-1)
+		}
+		return -0.5*n*math.Log(variance) + (lambda-1)*jacobian
+	}
+
+	lambda := goldenMax(ll, -5, 5, 1e-6)
+	return YeoJohnson{Lambda: lambda}, nil
+}
+
+// goldenMax maximises f over [lo, hi] by golden-section search to the given
+// absolute tolerance on the argument.
+func goldenMax(f func(float64) float64, lo, hi, tol float64) float64 {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}

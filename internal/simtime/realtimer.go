@@ -1,0 +1,76 @@
+package simtime
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+// RealTimer measures the pure-Go blas GEMM on the local host with the wall
+// clock. It allocates operands once per distinct shape and reuses them, and
+// averages Iters timing iterations per call — the same loop structure the
+// paper uses for its data collection (§V-B.3).
+//
+// RealTimer exists so the full ADSALA workflow (sample → time → train →
+// select threads) runs end-to-end on real silicon: the quickstart example
+// and integration tests use it with small shapes. The paper-scale
+// experiments use the Simulator.
+type RealTimer struct {
+	// Iters is the number of timed GEMM repetitions to average (default 3).
+	Iters int
+
+	mu    sync.Mutex
+	cache map[[3]int]*operands
+	rng   *rand.Rand
+}
+
+type operands struct {
+	a, b, c *mat.F32
+}
+
+// NewRealTimer returns a RealTimer averaging iters repetitions.
+func NewRealTimer(iters int) *RealTimer {
+	if iters < 1 {
+		iters = 1
+	}
+	return &RealTimer{
+		Iters: iters,
+		cache: make(map[[3]int]*operands),
+		rng:   rand.New(rand.NewSource(42)),
+	}
+}
+
+// Time runs the SGEMM threads-wide and returns the mean wall seconds.
+func (t *RealTimer) Time(m, k, n, threads int) float64 {
+	ops := t.operandsFor(m, k, n)
+	var total time.Duration
+	for i := 0; i < t.Iters; i++ {
+		start := time.Now()
+		// Benchmarked error path is impossible: shapes are consistent by
+		// construction, so any error is a programmer bug worth surfacing.
+		if err := blas.SGEMM(false, false, 1, ops.a, ops.b, 0, ops.c, threads); err != nil {
+			panic("simtime: RealTimer GEMM failed: " + err.Error())
+		}
+		total += time.Since(start)
+	}
+	return total.Seconds() / float64(t.Iters)
+}
+
+func (t *RealTimer) operandsFor(m, k, n int) *operands {
+	key := [3]int{m, k, n}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ops, ok := t.cache[key]; ok {
+		return ops
+	}
+	ops := &operands{a: mat.NewF32(m, k), b: mat.NewF32(k, n), c: mat.NewF32(m, n)}
+	ops.a.FillRandom(t.rng)
+	ops.b.FillRandom(t.rng)
+	t.cache[key] = ops
+	return ops
+}
+
+var _ Timer = (*RealTimer)(nil)

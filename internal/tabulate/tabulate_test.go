@@ -1,0 +1,61 @@
+package tabulate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("name", "value")
+	tb.Row("x", "1").Row("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// All lines equal width (trailing spaces pad the last column).
+	w := len(lines[0])
+	for i, ln := range lines {
+		if len(strings.TrimRight(ln, " ")) > w+2 {
+			t.Errorf("line %d wider than header: %q", i, ln)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("no rule: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "longer-name") {
+		t.Errorf("row content lost: %q", lines[3])
+	}
+}
+
+func TestRowPadsAndTruncates(t *testing.T) {
+	tb := New("a", "b")
+	tb.Row("only")              // missing cell -> empty
+	tb.Row("x", "y", "dropped") // extra cell -> dropped
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cell not dropped")
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if F(2, 0) != "2" {
+		t.Errorf("F(2,0) = %q", F(2, 0))
+	}
+	if D(42) != "42" {
+		t.Errorf("D = %q", D(42))
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	out := New("h").String()
+	if !strings.Contains(out, "h") {
+		t.Errorf("header missing: %q", out)
+	}
+}
