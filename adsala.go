@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/sampling"
+	"repro/internal/serve"
 	"repro/internal/simtime"
 )
 
@@ -211,5 +212,33 @@ func (l *Library) EvalLatency() float64 { return l.inner.EvalSeconds }
 
 // Predictor returns a caching thread-count predictor (the Fig 3 runtime
 // path) bound to this library. Each Predictor keeps its own last-shape
-// cache; see Gemm for the full execution front end.
+// cache; see Gemm for the full execution front end and Engine for the
+// concurrent many-shape cache.
 func (l *Library) Predictor() *core.Predictor { return l.inner.NewPredictor() }
+
+// Serving-layer re-exports so external callers can name the types without
+// importing internal packages.
+type (
+	// ServeOptions configures the prediction-serving engine.
+	ServeOptions = serve.Options
+	// Engine is the concurrent prediction engine (sharded decision cache
+	// plus batch ranking) returned by Library.Engine.
+	Engine = serve.Engine
+	// Server is the HTTP front end returned by Library.NewServer.
+	Server = serve.Server
+	// ServeClient is the Go client for the adsala-serve HTTP API.
+	ServeClient = serve.Client
+)
+
+// Engine returns a concurrent prediction engine bound to this library: a
+// sharded LRU decision cache plus a batch ranking path over reusable
+// buffers. Safe for concurrent use; see the internal/serve package.
+func (l *Library) Engine(opts ServeOptions) *serve.Engine {
+	return serve.NewEngine(l.inner, opts)
+}
+
+// NewServer returns an http.Handler serving this library's predictions at
+// /predict, /batch, /stats and /healthz (the adsala-serve daemon wraps it).
+func (l *Library) NewServer(opts ServeOptions) *serve.Server {
+	return serve.NewServer(l.Engine(opts))
+}

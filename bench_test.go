@@ -9,6 +9,7 @@ package adsala
 // Run with: go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/preprocess"
 	"repro/internal/sampling"
+	"repro/internal/serve"
 	"repro/internal/simtime"
 )
 
@@ -236,4 +238,117 @@ func BenchmarkModelFitXGBQuick(b *testing.B) {
 		}
 	}
 	_ = ml.RMSE // keep ml imported for future metric benches
+}
+
+// --- serving subsystem ----------------------------------------------------
+
+// benchServeShapes returns deterministic mixed GEMM shapes for the
+// concurrent prediction benchmarks.
+func benchServeShapes(n int) []sampling.Shape {
+	s, err := sampling.NewSampler(sampling.DefaultDomain().WithCapMB(100), 11)
+	if err != nil {
+		panic(err)
+	}
+	return s.Sample(n)
+}
+
+// BenchmarkConcurrentPrediction compares the single-mutex §III-C Predictor
+// against the sharded serve cache under concurrent mixed-shape traffic (8
+// goroutines, the multi-tenant scenario the serving subsystem targets).
+func BenchmarkConcurrentPrediction(b *testing.B) {
+	p, _ := experiments.PlatformByName("Gadi")
+	res, err := lab().Train(p, 500, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shapes := benchServeShapes(64)
+
+	b.Run("mutex-predictor", func(b *testing.B) {
+		pred := res.Library.NewPredictor()
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				sh := shapes[i%len(shapes)]
+				pred.OptimalThreads(sh.M, sh.K, sh.N)
+				i++
+			}
+		})
+	})
+	b.Run("sharded-cache", func(b *testing.B) {
+		eng := serve.NewEngine(res.Library, serve.Options{CacheSize: 256, Shards: 16})
+		eng.PredictBatch(shapes, nil) // warm
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				sh := shapes[i%len(shapes)]
+				eng.Predict(sh.M, sh.K, sh.N)
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkBatchPredict measures the batch ranking path at several sizes,
+// sequential vs worker-pool.
+func BenchmarkBatchPredict(b *testing.B) {
+	p, _ := experiments.PlatformByName("Gadi")
+	res, err := lab().Train(p, 500, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{16, 128} {
+		shapes := benchServeShapes(size)
+		for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+			name := "seq"
+			if workers == 0 {
+				name = "pool"
+			}
+			b.Run(fmt.Sprintf("n%d-%s", size, name), func(b *testing.B) {
+				// A tiny single-shard cache reset outside the timer keeps
+				// every ranking a cache miss without measuring engine
+				// construction.
+				eng := serve.NewEngine(res.Library, serve.Options{Workers: workers, CacheSize: 1, Shards: 1})
+				out := make([]int, len(shapes))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					eng.Cache().Reset()
+					b.StartTimer()
+					eng.PredictBatch(shapes, out)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkServeCache isolates the sharded cache data structure itself.
+func BenchmarkServeCache(b *testing.B) {
+	shapes := benchServeShapes(256)
+	b.Run("hit", func(b *testing.B) {
+		c := serve.NewCache(1024, 16)
+		for _, sh := range shapes {
+			c.Put(sh.M, sh.K, sh.N, 8)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				sh := shapes[i%len(shapes)]
+				c.Get(sh.M, sh.K, sh.N)
+				i++
+			}
+		})
+	})
+	b.Run("churn", func(b *testing.B) {
+		c := serve.NewCache(128, 16) // smaller than the key set: constant eviction
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				sh := shapes[i%len(shapes)]
+				c.Put(sh.M, sh.K, sh.N, 8)
+				i++
+			}
+		})
+	})
 }

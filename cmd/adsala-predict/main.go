@@ -8,35 +8,43 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	adsala "repro"
 	"repro/internal/tabulate"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("adsala-predict: ")
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("adsala-predict", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		libPath = flag.String("lib", "adsala.json", "library file written by adsala-train")
-		m       = flag.Int("m", 1024, "rows of A / C")
-		k       = flag.Int("k", 1024, "cols of A / rows of B")
-		n       = flag.Int("n", 1024, "cols of B / C")
+		libPath = fs.String("lib", "adsala.json", "library file written by adsala-train")
+		m       = fs.Int("m", 1024, "rows of A / C")
+		k       = fs.Int("k", 1024, "cols of A / rows of B")
+		n       = fs.Int("n", 1024, "cols of B / C")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 	if *m < 1 || *k < 1 || *n < 1 {
-		log.Fatalf("dimensions must be positive, got %dx%dx%d", *m, *k, *n)
+		return fmt.Errorf("dimensions must be positive, got %dx%dx%d", *m, *k, *n)
 	}
 
 	lib, err := adsala.Load(*libPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opt := lib.OptimalThreads(*m, *k, *n)
-	fmt.Printf("library: platform=%s model=%s\n", lib.Platform(), lib.ModelKind())
-	fmt.Printf("GEMM %dx%dx%d -> optimal threads: %d\n\n", *m, *k, *n, opt)
+	fmt.Fprintf(out, "library: platform=%s model=%s\n", lib.Platform(), lib.ModelKind())
+	fmt.Fprintf(out, "GEMM %dx%dx%d -> optimal threads: %d\n\n", *m, *k, *n, opt)
 
 	tb := tabulate.New("threads", "predicted runtime (us)", "")
 	for _, c := range lib.Candidates() {
@@ -46,5 +54,14 @@ func main() {
 		}
 		tb.Row(tabulate.D(c), tabulate.F(lib.PredictRuntime(*m, *k, *n, c)*1e6, 2), mark)
 	}
-	fmt.Print(tb.String())
+	fmt.Fprint(out, tb.String())
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adsala-predict: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

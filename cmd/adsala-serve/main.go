@@ -1,0 +1,138 @@
+// adsala-serve is the prediction-serving daemon: it loads a library written
+// by adsala-train and answers thread-selection queries over HTTP from a
+// sharded decision cache.
+//
+// Endpoints:
+//
+//	GET  /predict?m=&k=&n=   one decision (add &detail=1 for the ranking)
+//	POST /predict            {"m":..,"k":..,"n":..}
+//	POST /batch              {"shapes":[{"m":..,"k":..,"n":..},...]}
+//	GET  /stats              cache, engine and HTTP latency metrics
+//	GET  /healthz            liveness probe
+//
+// Usage:
+//
+//	adsala-serve -lib gadi.adsala.json -addr :8080 -warmup 256
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	adsala "repro"
+	"repro/internal/sampling"
+	"repro/internal/serve"
+)
+
+// config is the parsed command line of the daemon.
+type config struct {
+	libPath     string
+	addr        string
+	cacheSize   int
+	shards      int
+	workers     int
+	warmup      int
+	warmupCapMB int
+	warmupSeed  int64
+}
+
+// parseFlags parses args (without the program name) into a config. Usage
+// and parse errors print to out; a help request returns flag.ErrHelp.
+func parseFlags(args []string, out io.Writer) (config, error) {
+	fs := flag.NewFlagSet("adsala-serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var cfg config
+	fs.StringVar(&cfg.libPath, "lib", "adsala.json", "library file written by adsala-train")
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.cacheSize, "cache", 4096, "decision cache capacity (entries, rounded to a power of two)")
+	fs.IntVar(&cfg.shards, "shards", 16, "decision cache shard count (rounded to a power of two)")
+	fs.IntVar(&cfg.workers, "workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.warmup, "warmup", 0, "pre-populate the cache with this many sampled shapes")
+	fs.IntVar(&cfg.warmupCapMB, "warmup-cap", 100, "memory cap in MB of the warm-up sampling domain")
+	fs.Int64Var(&cfg.warmupSeed, "warmup-seed", 1, "warm-up sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.warmup < 0 {
+		return cfg, fmt.Errorf("-warmup must be >= 0, got %d", cfg.warmup)
+	}
+	if cfg.warmupCapMB < 1 {
+		return cfg, fmt.Errorf("-warmup-cap must be >= 1, got %d", cfg.warmupCapMB)
+	}
+	return cfg, nil
+}
+
+// newServer loads the library, builds the warmed engine and returns the
+// HTTP front end. Progress lines go to out.
+func newServer(cfg config, out io.Writer) (*serve.Server, error) {
+	lib, err := adsala.Load(cfg.libPath)
+	if err != nil {
+		return nil, err
+	}
+	eng := lib.Engine(serve.Options{
+		CacheSize: cfg.cacheSize,
+		Shards:    cfg.shards,
+		Workers:   cfg.workers,
+	})
+	fmt.Fprintf(out, "loaded %s: platform=%s model=%s, cache %d entries / %d shards\n",
+		cfg.libPath, lib.Platform(), lib.ModelKind(), eng.Cache().Capacity(), eng.Cache().Shards())
+	if cfg.warmup > 0 {
+		start := time.Now()
+		dom := sampling.DefaultDomain().WithCapMB(cfg.warmupCapMB)
+		n, err := eng.Warmup(dom, cfg.warmup, cfg.warmupSeed)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "warmed %d decisions in %v\n", n, time.Since(start).Round(time.Millisecond))
+	}
+	return serve.NewServer(eng), nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args, out)
+	if errors.Is(err, flag.ErrHelp) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	handler, err := newServer(cfg, out)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: cfg.addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(out, "serving on %s\n", cfg.addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(out, "shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adsala-serve: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	adsala "repro"
+	"repro/internal/serve"
+)
+
+var (
+	libOnce sync.Once
+	libPath string
+	libErr  error
+)
+
+// savedLibrary trains one quick library and saves it for the daemon tests.
+func savedLibrary(t *testing.T) string {
+	t.Helper()
+	libOnce.Do(func() {
+		// Not t.TempDir(): the artefact must outlive the first test that
+		// happens to trigger training.
+		dir, err := os.MkdirTemp("", "adsala-serve-test")
+		if err != nil {
+			libErr = err
+			return
+		}
+		lib, _, err := adsala.Train(adsala.TrainOptions{Platform: "Gadi", Shapes: 80, Quick: true, Seed: 3})
+		if err != nil {
+			libErr = err
+			return
+		}
+		libPath = filepath.Join(dir, "lib.json")
+		libErr = lib.Save(libPath)
+	})
+	if libErr != nil {
+		t.Fatal(libErr)
+	}
+	return libPath
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-lib", "x.json", "-addr", ":9090", "-warmup", "32", "-cache", "100", "-shards", "3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.libPath != "x.json" || cfg.addr != ":9090" || cfg.warmup != 32 || cfg.cacheSize != 100 || cfg.shards != 3 {
+		t.Errorf("parsed %+v", cfg)
+	}
+
+	cfg, err = parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.libPath != "adsala.json" || cfg.addr != ":8080" || cfg.cacheSize != 4096 {
+		t.Errorf("defaults %+v", cfg)
+	}
+
+	for _, bad := range [][]string{
+		{"-warmup", "-1"},
+		{"-warmup-cap", "0"},
+		{"-no-such-flag"},
+		{"-warmup", "abc"},
+	} {
+		if _, err := parseFlags(bad, io.Discard); err == nil {
+			t.Errorf("parseFlags(%v) should error", bad)
+		}
+	}
+}
+
+func TestHelpPrintsUsage(t *testing.T) {
+	var usage bytes.Buffer
+	if _, err := parseFlags([]string{"-h"}, &usage); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("parseFlags(-h) = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(usage.String(), "-lib") || !strings.Contains(usage.String(), "-warmup") {
+		t.Errorf("usage text missing flags:\n%s", usage.String())
+	}
+	// run treats a help request as success.
+	usage.Reset()
+	if err := run([]string{"--help"}, &usage); err != nil {
+		t.Errorf("run(--help) = %v, want nil", err)
+	}
+	if !strings.Contains(usage.String(), "-addr") {
+		t.Errorf("run(--help) printed no usage:\n%s", usage.String())
+	}
+}
+
+func TestNewServerBadLibrary(t *testing.T) {
+	if _, err := newServer(config{libPath: "/does/not/exist.json"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing library file should error")
+	}
+}
+
+// TestDaemonRoundTrip is the end-to-end integration test of the acceptance
+// criteria: the daemon loads a saved library and answers /predict, /batch,
+// /stats and /healthz over HTTP.
+func TestDaemonRoundTrip(t *testing.T) {
+	path := savedLibrary(t)
+	var out bytes.Buffer
+	cfg, err := parseFlags([]string{"-lib", path, "-warmup", "16", "-cache", "256", "-shards", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warmed 16 decisions") {
+		t.Errorf("warm-up not reported: %q", out.String())
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := serve.NewClient(ts.URL, nil)
+
+	lib, err := adsala.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// /healthz
+	h, err := client.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Platform != "Gadi" {
+		t.Errorf("healthz %+v", h)
+	}
+
+	// /predict agrees with the loaded library.
+	threads, err := client.Predict(256, 1024, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := lib.OptimalThreads(256, 1024, 256); threads != want {
+		t.Errorf("daemon chose %d, library %d", threads, want)
+	}
+
+	// /batch via raw JSON (wire-format check).
+	body := `{"shapes":[{"m":64,"k":64,"n":64},{"m":2048,"k":2048,"n":2048}]}`
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/batch HTTP %d", resp.StatusCode)
+	}
+	var br serve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Threads) != 2 {
+		t.Fatalf("batch answered %d decisions", len(br.Threads))
+	}
+	if want := lib.OptimalThreads(2048, 2048, 2048); br.Threads[1] != want {
+		t.Errorf("batch chose %d for 2048^3, library %d", br.Threads[1], want)
+	}
+
+	// /stats reflects the traffic and the warm-up.
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Predictions < 19 { // 16 warm-up + predict + batch of 2
+		t.Errorf("predictions %d, want >= 19", st.Engine.Predictions)
+	}
+	if st.Engine.CacheLen == 0 {
+		t.Error("cache empty after warm-up")
+	}
+	if st.HTTP["predict"].Requests != 1 || st.HTTP["batch"].Requests != 1 {
+		t.Errorf("http stats %+v", st.HTTP)
+	}
+}

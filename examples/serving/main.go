@@ -1,0 +1,93 @@
+// Serving: train a quick library, stand up the prediction-serving subsystem
+// (sharded decision cache + HTTP API), and drive it like a multi-tenant
+// client — single queries, a mixed-shape batch, and a look at the metrics.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	adsala "repro"
+	"repro/internal/sampling"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Installation (quick mode, simulated Gadi node).
+	fmt.Println("== training a quick library for Gadi ==")
+	lib, _, err := adsala.Train(adsala.TrainOptions{Platform: "Gadi", Shapes: 120, Quick: true, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected model: %s\n\n", lib.ModelKind())
+
+	// 2. Build the engine, warm the decision cache from the trained
+	// sampling domain, and serve it over HTTP on an ephemeral port.
+	eng := lib.Engine(serve.Options{CacheSize: 1024, Shards: 16})
+	warmed, err := eng.Warmup(sampling.DefaultDomain().WithCapMB(100), 128, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== warmed %d decisions into the sharded cache ==\n", warmed)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: serve.NewServer(eng)}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// 3. Single predictions over the wire.
+	client := serve.NewClient(base, nil)
+	fmt.Println("== /predict ==")
+	for _, s := range [][3]int{{64, 64, 64}, {64, 2048, 64}, {4000, 4000, 4000}} {
+		threads, err := client.Predict(s[0], s[1], s[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5dx%5dx%5d -> %3d threads\n", s[0], s[1], s[2], threads)
+	}
+
+	// 4. A mixed-shape batch in one round trip.
+	sampler, err := sampling.NewSampler(sampling.DefaultDomain().WithCapMB(100), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shapes := sampler.Sample(32)
+	start := time.Now()
+	threads, err := client.PredictBatch(shapes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== /batch: %d shapes in %v ==\n", len(shapes), time.Since(start).Round(time.Microsecond))
+	for i := 0; i < 4; i++ {
+		fmt.Printf("  %v -> %d threads\n", shapes[i], threads[i])
+	}
+	fmt.Printf("  ... and %d more\n", len(shapes)-4)
+
+	// 5. Metrics.
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== /stats ==\n")
+	fmt.Printf("  predictions: %d, cache %d/%d entries, hit rate %.0f%%\n",
+		st.Engine.Predictions, st.Engine.CacheLen, st.Engine.CacheCap, 100*st.Engine.HitRate)
+	fmt.Printf("  mean ranking latency: %.1f us\n", st.Engine.MeanEvalMicros)
+	fmt.Printf("  /predict: %d requests, mean %.0f us\n",
+		st.HTTP["predict"].Requests, st.HTTP["predict"].MeanMicros)
+}

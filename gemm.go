@@ -4,8 +4,8 @@ import (
 	"runtime"
 
 	"repro/internal/blas"
-	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/serve"
 )
 
 // Internal aliases backing the exported matrix names.
@@ -22,20 +22,22 @@ func NewMatrixF64(rows, cols int) *MatrixF64 { return mat.NewF64(rows, cols) }
 
 // Gemm is the runtime front end of Fig 3: it wraps the built-in
 // multi-threaded GEMM, consulting the library's model for the thread count
-// on every call and re-using the cached decision when the same dimensions
-// repeat (§III-C). Thread counts are clamped to the local GOMAXPROCS so a
+// on every call and re-using cached decisions when dimensions repeat. The
+// cache generalises §III-C from the single last shape to a sharded LRU over
+// many shapes, so concurrent callers with mixed workloads do not serialize
+// on one lock. Thread counts are clamped to the local GOMAXPROCS so a
 // library trained for a larger platform still runs correctly here.
 //
 // A Gemm is safe for concurrent use.
 type Gemm struct {
-	pred *core.Predictor
+	eng *serve.Engine
 	// maxLocal caps the executed thread count (0 = GOMAXPROCS).
 	maxLocal int
 }
 
 // NewGemm returns a GEMM front end bound to the library.
 func (l *Library) NewGemm() *Gemm {
-	return &Gemm{pred: l.inner.NewPredictor()}
+	return &Gemm{eng: serve.NewEngine(l.inner, serve.Options{})}
 }
 
 // SetMaxLocalThreads overrides the local execution clamp (useful in tests).
@@ -52,7 +54,7 @@ func (g *Gemm) localClamp() int {
 // choose returns the model-selected thread count, clamped for local
 // execution.
 func (g *Gemm) choose(m, k, n int) int {
-	threads := g.pred.OptimalThreads(m, k, n)
+	threads := g.eng.Predict(m, k, n)
 	if c := g.localClamp(); threads > c {
 		threads = c
 	}
@@ -88,7 +90,7 @@ func (g *Gemm) DGEMM(transA, transB bool, alpha float64, a, b *MatrixF64, beta f
 func (g *Gemm) LastChoice(m, k, n int) int { return g.choose(m, k, n) }
 
 // CacheStats reports (hits, misses) of the repeated-shape prediction cache.
-func (g *Gemm) CacheStats() (hits, misses int64) { return g.pred.CacheStats() }
+func (g *Gemm) CacheStats() (hits, misses int64) { return g.eng.Cache().Stats() }
 
 func opDimsF32(a *MatrixF32, transA bool, b *MatrixF32, transB bool) (m, n, k int) {
 	m, k = a.Rows, a.Cols

@@ -44,7 +44,11 @@ func (s ShapeTimings) TimeAt(threads int) (float64, bool) {
 }
 
 // BestMeasured returns the thread count with the smallest measured time.
+// An empty sweep yields the zero CandidateTime rather than a panic.
 func (s ShapeTimings) BestMeasured() CandidateTime {
+	if len(s.Times) == 0 {
+		return CandidateTime{}
+	}
 	best := s.Times[0]
 	for _, ct := range s.Times[1:] {
 		if ct.Seconds < best.Seconds {
@@ -188,20 +192,61 @@ func (l *Library) rawRow(m, k, n, threads int) []float64 {
 	return out
 }
 
-// OptimalThreads ranks every candidate thread count by predicted runtime and
-// returns the argmin (§IV-A). This is the uncached path; use a Predictor on
-// hot loops.
-func (l *Library) OptimalThreads(m, k, n int) int {
-	best, bt := l.Candidates[0], 0.0
-	buf := make([]float64, len(l.Pipeline.Keep))
-	for i, p := range l.Candidates {
-		l.Pipeline.TransformInto(l.rawRow(m, k, n, p), buf)
-		pred := l.Model.Predict(buf)
+// Scratch holds the reusable buffers of one allocation-free ranking pass.
+// A Scratch is not safe for concurrent use; pool one per goroutine (the
+// serve engine keeps them in a sync.Pool).
+type Scratch struct {
+	raw        []float64 // full Table II feature row
+	restricted []float64 // column-restricted row (ablation libraries)
+	buf        []float64 // pipeline output row fed to the model
+}
+
+// NewScratch returns ranking buffers sized for this library.
+func (l *Library) NewScratch() *Scratch {
+	s := &Scratch{
+		raw: make([]float64, len(features.Columns())),
+		buf: make([]float64, len(l.Pipeline.Keep)),
+	}
+	if idx := l.featureIndices(); idx != nil {
+		s.restricted = make([]float64, len(idx))
+	}
+	return s
+}
+
+// RankInto ranks every candidate thread count by predicted runtime using the
+// scratch buffers and returns the index of the argmin in Candidates. When
+// scores is non-nil it must have len(Candidates) and receives the predicted
+// wall time in seconds for each candidate (target untransformed). The
+// library itself is read-only here, so concurrent calls with distinct
+// scratches are safe.
+func (l *Library) RankInto(m, k, n int, s *Scratch, scores []float64) int {
+	bestIdx, bt := 0, 0.0
+	for i, cand := range l.Candidates {
+		features.RowInto(m, k, n, cand, s.raw)
+		row := s.raw
+		if idx := l.featureIndices(); idx != nil {
+			for j, jj := range idx {
+				s.restricted[j] = s.raw[jj]
+			}
+			row = s.restricted
+		}
+		l.Pipeline.TransformInto(row, s.buf)
+		pred := l.Model.Predict(s.buf)
+		if scores != nil {
+			scores[i] = l.Pipeline.UntransformTarget(pred)
+		}
 		if i == 0 || pred < bt {
-			best, bt = p, pred
+			bestIdx, bt = i, pred
 		}
 	}
-	return best
+	return bestIdx
+}
+
+// OptimalThreads ranks every candidate thread count by predicted runtime and
+// returns the argmin (§IV-A). This is the uncached path; use a Predictor or
+// the serve engine on hot loops.
+func (l *Library) OptimalThreads(m, k, n int) int {
+	return l.Candidates[l.RankInto(m, k, n, l.NewScratch(), nil)]
 }
 
 // PredictSeconds returns the model's runtime estimate for one configuration.
@@ -221,12 +266,12 @@ type Predictor struct {
 	lastChoice          int
 	valid               bool
 	hits, misses        int64
-	buf                 []float64
+	scratch             *Scratch
 }
 
 // NewPredictor returns a Predictor bound to the library.
 func (l *Library) NewPredictor() *Predictor {
-	return &Predictor{lib: l, buf: make([]float64, len(l.Pipeline.Keep))}
+	return &Predictor{lib: l, scratch: l.NewScratch()}
 }
 
 // OptimalThreads returns the thread count to use for an m×k×n GEMM,
@@ -239,14 +284,7 @@ func (p *Predictor) OptimalThreads(m, k, n int) int {
 		return p.lastChoice
 	}
 	p.misses++
-	best, bt := p.lib.Candidates[0], 0.0
-	for i, cand := range p.lib.Candidates {
-		p.lib.Pipeline.TransformInto(p.lib.rawRow(m, k, n, cand), p.buf)
-		pred := p.lib.Model.Predict(p.buf)
-		if i == 0 || pred < bt {
-			best, bt = cand, pred
-		}
-	}
+	best := p.lib.Candidates[p.lib.RankInto(m, k, n, p.scratch, nil)]
 	p.lastM, p.lastK, p.lastN, p.lastChoice, p.valid = m, k, n, best, true
 	return best
 }

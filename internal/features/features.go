@@ -32,17 +32,22 @@ func Group1Columns() []string { return append([]string(nil), columns[:group1]...
 // Row builds one feature vector for a GEMM of the given shape run with the
 // given number of threads.
 func Row(m, k, n, threads int) []float64 {
+	dst := make([]float64, len(columns))
+	RowInto(m, k, n, threads, dst)
+	return dst
+}
+
+// RowInto is Row without allocation; dst must have len(Columns()).
+func RowInto(m, k, n, threads int, dst []float64) {
 	fm, fk, fn := float64(m), float64(k), float64(n)
 	t := float64(threads)
 	mk, mn, kn := fm*fk, fm*fn, fk*fn
 	mkn := fm * fk * fn
 	total := mk + kn + mn
-	return []float64{
-		fm, fk, fn, t,
-		mk, mn, kn, mkn, total,
-		fm / t, fk / t, fn / t,
-		mk / t, mn / t, kn / t, mkn / t, total / t,
-	}
+	dst[0], dst[1], dst[2], dst[3] = fm, fk, fn, t
+	dst[4], dst[5], dst[6], dst[7], dst[8] = mk, mn, kn, mkn, total
+	dst[9], dst[10], dst[11] = fm/t, fk/t, fn/t
+	dst[12], dst[13], dst[14], dst[15], dst[16] = mk/t, mn/t, kn/t, mkn/t, total/t
 }
 
 // Record is one timed observation from the data-gathering phase.

@@ -1,0 +1,267 @@
+// Package serve is the concurrent prediction-serving subsystem: a sharded
+// LRU decision cache generalising the single-shape runtime cache of §III-C,
+// a batch prediction engine over reusable buffers, a warm-up precomputation
+// pass, and an HTTP front end (server + client) so a trained library can
+// answer thread-selection queries over the wire.
+//
+// The paper's Fig 3 runtime path caches only the last GEMM shape behind one
+// mutex; under multi-tenant traffic (many goroutines, mixed shapes) that
+// serializes every selection on the lock and thrashes the one-entry cache.
+// Here decisions are memoised per shape in power-of-two shards with
+// per-shard locking, so concurrent mixed-shape prediction scales with the
+// core count.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shapeKey identifies one GEMM configuration in the decision cache.
+type shapeKey struct {
+	m, k, n int
+}
+
+// hash mixes the three dimensions into a well-distributed 64-bit value
+// (splitmix64-style finalisation over a combined word).
+func (s shapeKey) hash() uint64 {
+	h := uint64(s.m)*0x9e3779b97f4a7c15 ^ uint64(s.k)*0xbf58476d1ce4e5b9 ^ uint64(s.n)*0x94d049bb133111eb
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// entry is one slot of a shard's intrusive LRU list.
+type entry struct {
+	key        shapeKey
+	threads    int
+	prev, next int // indices into the shard's entries; -1 = none
+}
+
+// shard is one power-of-two slice of the cache: a map from shape to slot
+// plus an intrusive doubly-linked LRU list over a fixed slot array, so
+// steady-state operation allocates nothing.
+type shard struct {
+	mu      sync.Mutex
+	slots   map[shapeKey]int
+	entries []entry
+	head    int // most recently used; -1 when empty
+	tail    int // least recently used; -1 when empty
+	free    []int
+}
+
+func newShard(capacity int) *shard {
+	s := &shard{
+		slots:   make(map[shapeKey]int, capacity),
+		entries: make([]entry, capacity),
+		head:    -1,
+		tail:    -1,
+		free:    make([]int, capacity),
+	}
+	for i := range s.free {
+		s.free[i] = capacity - 1 - i // pop from the back: slot 0 first
+	}
+	return s
+}
+
+// unlink removes slot i from the LRU list. Caller holds mu.
+func (s *shard) unlink(i int) {
+	e := &s.entries[i]
+	if e.prev >= 0 {
+		s.entries[e.prev].next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next >= 0 {
+		s.entries[e.next].prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+}
+
+// pushFront makes slot i the most recently used. Caller holds mu.
+func (s *shard) pushFront(i int) {
+	e := &s.entries[i]
+	e.prev, e.next = -1, s.head
+	if s.head >= 0 {
+		s.entries[s.head].prev = i
+	}
+	s.head = i
+	if s.tail < 0 {
+		s.tail = i
+	}
+}
+
+func (s *shard) get(key shapeKey) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.slots[key]
+	if !ok {
+		return 0, false
+	}
+	if s.head != i {
+		s.unlink(i)
+		s.pushFront(i)
+	}
+	return s.entries[i].threads, true
+}
+
+func (s *shard) put(key shapeKey, threads int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.slots[key]; ok {
+		s.entries[i].threads = threads
+		if s.head != i {
+			s.unlink(i)
+			s.pushFront(i)
+		}
+		return
+	}
+	var i int
+	if n := len(s.free); n > 0 {
+		i = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		i = s.tail // evict the least recently used
+		s.unlink(i)
+		delete(s.slots, s.entries[i].key)
+	}
+	s.entries[i] = entry{key: key, threads: threads}
+	s.slots[key] = i
+	s.pushFront(i)
+}
+
+func (s *shard) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.slots)
+}
+
+func (s *shard) reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.slots {
+		delete(s.slots, key)
+	}
+	s.head, s.tail = -1, -1
+	s.free = s.free[:0]
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+}
+
+// Cache is a sharded, power-of-two-sized LRU decision cache mapping GEMM
+// shapes to chosen thread counts. Shards are selected by shape hash; each
+// shard has its own lock, and the hit/miss counters are atomic, so the
+// cache is safe for heavy concurrent use.
+type Cache struct {
+	shards    []*shard
+	shardMask uint64
+	capacity  int
+	hits      atomic.Int64
+	misses    atomic.Int64
+}
+
+// Sizing bounds: decisions are a few words each, so a million entries is
+// far beyond any realistic working set; the clamps also keep nextPow2 away
+// from shift overflow on absurd operator-supplied values.
+const (
+	maxCapacity = 1 << 20
+	maxShards   = 1 << 10
+)
+
+// nextPow2 rounds v up to the next power of two (minimum 1). v must be at
+// most the largest representable power of two (callers clamp well below).
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// NewCache returns a decision cache with approximately the given total
+// capacity spread over the given shard count. Both are rounded up to powers
+// of two and clamped to sane bounds (1..1M entries, 1..1024 shards); zero
+// or negative values select the defaults (4096 entries, 16 shards). Shards
+// never exceed the capacity.
+func NewCache(capacity, shards int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if capacity > maxCapacity {
+		capacity = maxCapacity
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	capacity = nextPow2(capacity)
+	shards = nextPow2(shards)
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &Cache{
+		shards:    make([]*shard, shards),
+		shardMask: uint64(shards - 1),
+		capacity:  capacity,
+	}
+	per := capacity / shards
+	for i := range c.shards {
+		c.shards[i] = newShard(per)
+	}
+	return c
+}
+
+// Get returns the cached decision for an m×k×n GEMM.
+func (c *Cache) Get(m, k, n int) (threads int, ok bool) {
+	key := shapeKey{m, k, n}
+	threads, ok = c.shards[key.hash()&c.shardMask].get(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return threads, ok
+}
+
+// Put records the decision for an m×k×n GEMM, evicting the least recently
+// used entry of the target shard when it is full.
+func (c *Cache) Put(m, k, n, threads int) {
+	key := shapeKey{m, k, n}
+	c.shards[key.hash()&c.shardMask].put(key, threads)
+}
+
+// Len returns the number of cached decisions.
+func (c *Cache) Len() int {
+	total := 0
+	for _, s := range c.shards {
+		total += s.len()
+	}
+	return total
+}
+
+// Capacity returns the total entry capacity across shards.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Shards returns the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Stats returns the cumulative (hits, misses) counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Reset empties every shard and zeroes the counters.
+func (c *Cache) Reset() {
+	for _, s := range c.shards {
+		s.reset()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheSizing(t *testing.T) {
+	c := NewCache(0, 0)
+	if c.Capacity() != 4096 || c.Shards() != 16 {
+		t.Errorf("defaults: cap %d shards %d", c.Capacity(), c.Shards())
+	}
+	c = NewCache(100, 3)
+	if c.Capacity() != 128 || c.Shards() != 4 {
+		t.Errorf("rounding: cap %d shards %d, want 128/4", c.Capacity(), c.Shards())
+	}
+	// Shards clamp to capacity.
+	c = NewCache(2, 64)
+	if c.Shards() != 2 {
+		t.Errorf("shards %d > capacity 2", c.Shards())
+	}
+	// Absurd sizes clamp instead of overflowing or hanging.
+	c = NewCache(1<<62+1, 1<<40)
+	if c.Capacity() != maxCapacity || c.Shards() != maxShards {
+		t.Errorf("clamp: cap %d shards %d, want %d/%d", c.Capacity(), c.Shards(), maxCapacity, maxShards)
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(64, 4)
+	if _, ok := c.Get(1, 2, 3); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, 2, 3, 8)
+	if th, ok := c.Get(1, 2, 3); !ok || th != 8 {
+		t.Fatalf("got (%d,%v), want (8,true)", th, ok)
+	}
+	// Overwrite in place.
+	c.Put(1, 2, 3, 16)
+	if th, _ := c.Get(1, 2, 3); th != 16 {
+		t.Fatalf("overwrite: got %d, want 16", th)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len %d, want 1", c.Len())
+	}
+	// Permuted dimensions are distinct keys.
+	c.Put(3, 2, 1, 4)
+	if th, ok := c.Get(3, 2, 1); !ok || th != 4 {
+		t.Fatalf("permuted key collided: (%d,%v)", th, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("stats (%d,%d), want (3,1)", hits, misses)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len %d after Reset", c.Len())
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("stats (%d,%d) after Reset", h, m)
+	}
+	// Reusable after reset.
+	c.Put(9, 9, 9, 2)
+	if th, ok := c.Get(9, 9, 9); !ok || th != 2 {
+		t.Fatalf("post-reset put lost: (%d,%v)", th, ok)
+	}
+}
+
+// TestCacheLRUEviction drives one shard past capacity and checks that the
+// least recently used entries fall out first.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(4, 1) // single shard, 4 slots
+	for i := 1; i <= 4; i++ {
+		c.Put(i, i, i, i)
+	}
+	c.Get(1, 1, 1) // refresh 1: now 2 is the LRU
+	c.Put(5, 5, 5, 5)
+	if _, ok := c.Get(2, 2, 2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	for _, want := range []int{1, 3, 4, 5} {
+		if th, ok := c.Get(want, want, want); !ok || th != want {
+			t.Fatalf("entry %d: (%d,%v)", want, th, ok)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len %d, want 4", c.Len())
+	}
+}
+
+// TestCacheEvictionChurn pushes far more keys than capacity through the
+// cache and verifies the size invariant and internal consistency hold.
+func TestCacheEvictionChurn(t *testing.T) {
+	c := NewCache(64, 8)
+	for i := 0; i < 10000; i++ {
+		c.Put(i, i*7, i*13, 1+i%32)
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+	// The most recent keys of each shard should still resolve correctly.
+	found := 0
+	for i := 9900; i < 10000; i++ {
+		if th, ok := c.Get(i, i*7, i*13); ok {
+			found++
+			if th != 1+i%32 {
+				t.Fatalf("key %d: threads %d, want %d", i, th, 1+i%32)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no recent keys survived churn")
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run under
+// -race this validates the locking discipline.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(256, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := (g*2000 + i) % 300
+				c.Put(key, key+1, key+2, key%32+1)
+				if th, ok := c.Get(key, key+1, key+2); ok && th != key%32+1 {
+					panic(fmt.Sprintf("key %d read %d", key, th))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+func TestShapeKeyHashSpread(t *testing.T) {
+	// Sequential small dimensions must not all land in one shard.
+	const shards = 16
+	var hist [shards]int
+	for m := 1; m <= 32; m++ {
+		for k := 1; k <= 8; k++ {
+			hist[shapeKey{m, k, m + k}.hash()&(shards-1)]++
+		}
+	}
+	for i, n := range hist {
+		if n == 0 {
+			t.Errorf("shard %d received no keys", i)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/sampling"
+)
+
+// Client is a Go client for the adsala-serve HTTP API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient selects a default with a 10 s
+// timeout.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// do issues one request and decodes the JSON answer into out.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("serve: encode request: %w", err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("serve: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr apiError
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Predict asks the server for the optimal thread count of one GEMM shape.
+func (c *Client) Predict(m, k, n int) (int, error) {
+	var resp PredictResponse
+	if err := c.do(http.MethodPost, "/predict", PredictRequest{M: m, K: k, N: n}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Threads, nil
+}
+
+// PredictDetail returns the full candidate ranking for one shape.
+func (c *Client) PredictDetail(m, k, n int) (PredictResponse, error) {
+	var resp PredictResponse
+	err := c.do(http.MethodPost, "/predict?detail=1", PredictRequest{M: m, K: k, N: n}, &resp)
+	return resp, err
+}
+
+// PredictBatch asks the server for the optimal thread counts of many shapes
+// in one round trip.
+func (c *Client) PredictBatch(shapes []sampling.Shape) ([]int, error) {
+	req := BatchRequest{Shapes: make([]PredictRequest, len(shapes))}
+	for i, sh := range shapes {
+		req.Shapes[i] = PredictRequest{M: sh.M, K: sh.K, N: sh.N}
+	}
+	var resp BatchResponse
+	if err := c.do(http.MethodPost, "/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Threads) != len(shapes) {
+		return nil, fmt.Errorf("serve: batch answered %d decisions for %d shapes", len(resp.Threads), len(shapes))
+	}
+	return resp.Threads, nil
+}
+
+// Stats fetches the server's engine and HTTP metrics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.do(http.MethodGet, "/stats", nil, &resp)
+	return resp, err
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz() (HealthResponse, error) {
+	var resp HealthResponse
+	err := c.do(http.MethodGet, "/healthz", nil, &resp)
+	return resp, err
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize is the total decision-cache capacity (entries); rounded up
+	// to a power of two. 0 selects the default (4096).
+	CacheSize int
+	// Shards is the cache shard count; rounded up to a power of two.
+	// 0 selects the default (16).
+	Shards int
+	// Workers bounds the goroutines used by PredictBatch. 0 selects
+	// GOMAXPROCS; 1 forces sequential batches.
+	Workers int
+}
+
+// Engine answers thread-selection queries for one trained library. It
+// generalises the §III-C repeated-shape cache: decisions are memoised in a
+// sharded LRU keyed by shape, misses rank the candidates with pooled
+// scratch buffers (no per-call allocation in steady state), and batches
+// fan out across a bounded worker pool. Safe for concurrent use.
+type Engine struct {
+	lib     *core.Library
+	cache   *Cache
+	workers int
+
+	scratch sync.Pool // *core.Scratch
+
+	predictions atomic.Int64 // selections served (cached or computed)
+	evalNanos   atomic.Int64 // cumulative time spent in cache-miss ranking
+	evals       atomic.Int64 // cache-miss rankings performed
+}
+
+// NewEngine returns an Engine over the library with the given options.
+func NewEngine(lib *core.Library, opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		lib:     lib,
+		cache:   NewCache(opts.CacheSize, opts.Shards),
+		workers: workers,
+	}
+	e.scratch.New = func() any { return lib.NewScratch() }
+	return e
+}
+
+// Library returns the library the engine serves.
+func (e *Engine) Library() *core.Library { return e.lib }
+
+// Cache returns the engine's decision cache.
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Predict returns the model-selected thread count for an m×k×n GEMM,
+// serving repeated shapes from the sharded cache.
+func (e *Engine) Predict(m, k, n int) int {
+	e.predictions.Add(1)
+	if threads, ok := e.cache.Get(m, k, n); ok {
+		return threads
+	}
+	threads := e.rank(m, k, n, nil)
+	e.cache.Put(m, k, n, threads)
+	return threads
+}
+
+// rank runs one full candidate ranking with a pooled scratch, recording the
+// evaluation latency. scores, when non-nil, receives per-candidate
+// predicted seconds (len(Candidates())).
+func (e *Engine) rank(m, k, n int, scores []float64) int {
+	s := e.scratch.Get().(*core.Scratch)
+	start := time.Now()
+	best := e.lib.Candidates[e.lib.RankInto(m, k, n, s, scores)]
+	e.evalNanos.Add(time.Since(start).Nanoseconds())
+	e.evals.Add(1)
+	e.scratch.Put(s)
+	return best
+}
+
+// Candidates returns the candidate thread counts the engine ranks.
+func (e *Engine) Candidates() []int {
+	return append([]int(nil), e.lib.Candidates...)
+}
+
+// Rank returns the per-candidate predicted runtimes (seconds, aligned with
+// Candidates()) and the selected thread count for one shape. It bypasses
+// the cache — use it for introspection, not the hot path.
+func (e *Engine) Rank(m, k, n int) (scores []float64, best int) {
+	e.predictions.Add(1)
+	scores = make([]float64, len(e.lib.Candidates))
+	best = e.rank(m, k, n, scores)
+	e.cache.Put(m, k, n, best)
+	return scores, best
+}
+
+// PredictBatch ranks every shape and writes the chosen thread counts into
+// out (allocated when nil or too short). Shapes repeated within the batch
+// or across calls are served from the cache; distinct misses are ranked in
+// parallel across the engine's worker pool.
+func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
+	if len(out) < len(shapes) {
+		out = make([]int, len(shapes))
+	}
+	out = out[:len(shapes)]
+	workers := e.workers
+	if workers > len(shapes) {
+		workers = len(shapes)
+	}
+	if workers <= 1 {
+		for i, sh := range shapes {
+			out[i] = e.Predict(sh.M, sh.K, sh.N)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shapes) {
+					return
+				}
+				sh := shapes[i]
+				out[i] = e.Predict(sh.M, sh.K, sh.N)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Warmup pre-populates the decision cache with n quasi-random shapes drawn
+// from the given sampling domain — the same low-discrepancy generator used
+// at installation time, so the warmed set covers the trained distribution.
+// Returns the number of decisions computed.
+func (e *Engine) Warmup(dom sampling.Domain, n int, seed int64) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	sampler, err := sampling.NewSampler(dom, seed)
+	if err != nil {
+		return 0, fmt.Errorf("serve: warmup: %w", err)
+	}
+	shapes := sampler.Sample(n)
+	e.PredictBatch(shapes, nil)
+	return len(shapes), nil
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Predictions int64   `json:"predictions"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	CacheLen    int     `json:"cache_len"`
+	CacheCap    int     `json:"cache_capacity"`
+	Shards      int     `json:"shards"`
+	// MeanEvalMicros is the mean latency of one cache-miss candidate
+	// ranking in microseconds.
+	MeanEvalMicros float64 `json:"mean_eval_micros"`
+}
+
+// Stats returns the current counters.
+func (e *Engine) Stats() Stats {
+	hits, misses := e.cache.Stats()
+	st := Stats{
+		Predictions: e.predictions.Load(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CacheLen:    e.cache.Len(),
+		CacheCap:    e.cache.Capacity(),
+		Shards:      e.cache.Shards(),
+	}
+	if total := hits + misses; total > 0 {
+		st.HitRate = float64(hits) / float64(total)
+	}
+	if evals := e.evals.Load(); evals > 0 {
+		st.MeanEvalMicros = float64(e.evalNanos.Load()) / float64(evals) / 1e3
+	}
+	return st
+}

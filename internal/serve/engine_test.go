@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sampling"
+	"repro/internal/simtime"
+)
+
+var (
+	libOnce sync.Once
+	testLib *core.Library
+	libErr  error
+)
+
+// lib trains one quick simulated-Gadi library shared by the package tests.
+func lib(t *testing.T) *core.Library {
+	t.Helper()
+	libOnce.Do(func() {
+		sim := simtime.New(simtime.DefaultConfig(machine.Gadi()))
+		gather := core.GatherConfig{
+			Timer:      sim,
+			Domain:     sampling.DefaultDomain().WithCapMB(100),
+			NumShapes:  80,
+			Candidates: core.DefaultCandidates(96),
+			Iters:      3,
+			Seed:       1,
+		}
+		cfg := core.DefaultTrainConfig(gather, "Gadi", 48)
+		cfg.Models = core.DefaultModels(1, true)
+		var res *core.TrainResult
+		res, libErr = core.Train(cfg)
+		if libErr == nil {
+			testLib = res.Library
+		}
+	})
+	if libErr != nil {
+		t.Fatal(libErr)
+	}
+	return testLib
+}
+
+// mixedShapes returns n deterministic mixed GEMM shapes.
+func mixedShapes(n int) []sampling.Shape {
+	sampler, err := sampling.NewSampler(sampling.DefaultDomain().WithCapMB(100), 7)
+	if err != nil {
+		panic(err)
+	}
+	return sampler.Sample(n)
+}
+
+// TestEngineMatchesLibrary verifies the cache never changes a decision:
+// every engine answer (cold, cached, batched) equals the uncached
+// Library.OptimalThreads ranking.
+func TestEngineMatchesLibrary(t *testing.T) {
+	l := lib(t)
+	eng := NewEngine(l, Options{CacheSize: 256, Shards: 8})
+	shapes := mixedShapes(40)
+	want := make([]int, len(shapes))
+	for i, sh := range shapes {
+		want[i] = l.OptimalThreads(sh.M, sh.K, sh.N)
+	}
+	for i, sh := range shapes {
+		if got := eng.Predict(sh.M, sh.K, sh.N); got != want[i] {
+			t.Fatalf("cold %v: engine %d, library %d", sh, got, want[i])
+		}
+	}
+	for i, sh := range shapes { // now served from cache
+		if got := eng.Predict(sh.M, sh.K, sh.N); got != want[i] {
+			t.Fatalf("cached %v: engine %d, library %d", sh, got, want[i])
+		}
+	}
+	batch := eng.PredictBatch(shapes, nil)
+	for i := range shapes {
+		if batch[i] != want[i] {
+			t.Fatalf("batch %v: engine %d, library %d", shapes[i], batch[i], want[i])
+		}
+	}
+	st := eng.Stats()
+	if st.CacheHits == 0 || st.CacheMisses != int64(len(shapes)) {
+		t.Errorf("stats: hits %d misses %d, want misses = %d", st.CacheHits, st.CacheMisses, len(shapes))
+	}
+	if st.HitRate <= 0 || st.HitRate >= 1 {
+		t.Errorf("hit rate %v out of (0,1)", st.HitRate)
+	}
+	if st.MeanEvalMicros <= 0 {
+		t.Errorf("mean eval latency %v, want > 0", st.MeanEvalMicros)
+	}
+}
+
+func TestEngineRankDetail(t *testing.T) {
+	l := lib(t)
+	eng := NewEngine(l, Options{})
+	scores, best := eng.Rank(512, 512, 512)
+	cands := eng.Candidates()
+	if len(scores) != len(cands) {
+		t.Fatalf("%d scores for %d candidates", len(scores), len(cands))
+	}
+	bestIdx := 0
+	for i := range scores {
+		if scores[i] <= 0 {
+			t.Fatalf("candidate %d predicted %v s", cands[i], scores[i])
+		}
+		if scores[i] < scores[bestIdx] {
+			bestIdx = i
+		}
+	}
+	if cands[bestIdx] != best {
+		t.Errorf("argmin of scores is %d, Rank chose %d", cands[bestIdx], best)
+	}
+	if got := l.OptimalThreads(512, 512, 512); got != best {
+		t.Errorf("Rank chose %d, library %d", best, got)
+	}
+}
+
+func TestEngineBatchWorkers(t *testing.T) {
+	l := lib(t)
+	shapes := mixedShapes(33)
+	seq := NewEngine(l, Options{Workers: 1}).PredictBatch(shapes, nil)
+	par := NewEngine(l, Options{Workers: 8}).PredictBatch(shapes, nil)
+	for i := range shapes {
+		if seq[i] != par[i] {
+			t.Fatalf("shape %v: sequential %d, parallel %d", shapes[i], seq[i], par[i])
+		}
+	}
+	// Reusing an output slice must not reallocate.
+	eng := NewEngine(l, Options{})
+	out := make([]int, len(shapes))
+	got := eng.PredictBatch(shapes, out)
+	if &got[0] != &out[0] {
+		t.Error("PredictBatch reallocated a sufficient out slice")
+	}
+}
+
+func TestEngineWarmup(t *testing.T) {
+	l := lib(t)
+	eng := NewEngine(l, Options{CacheSize: 512})
+	dom := sampling.DefaultDomain().WithCapMB(100)
+	n, err := eng.Warmup(dom, 100, 7)
+	if err != nil || n != 100 {
+		t.Fatalf("Warmup = (%d, %v)", n, err)
+	}
+	if eng.Cache().Len() == 0 {
+		t.Fatal("warm-up left the cache empty")
+	}
+	// The warmed shapes (same domain, same seed) now hit.
+	h0, _ := eng.Cache().Stats()
+	eng.PredictBatch(mixedShapes(100), nil)
+	h1, m1 := eng.Cache().Stats()
+	if h1-h0 != 100 {
+		t.Errorf("warmed shapes produced %d hits (misses %d), want 100", h1-h0, m1)
+	}
+	if n, err := eng.Warmup(dom, 0, 1); n != 0 || err != nil {
+		t.Errorf("Warmup(0) = (%d, %v)", n, err)
+	}
+	if _, err := eng.Warmup(sampling.Domain{}, 5, 1); err == nil {
+		t.Error("invalid domain should error")
+	}
+}
+
+// TestShardedThroughputVsMutexPredictor is the tentpole acceptance check:
+// with 8 goroutines issuing mixed-shape predictions, the warmed sharded
+// cache must deliver at least 5x the throughput of the single-mutex
+// core.Predictor, while agreeing on every decision.
+func TestShardedThroughputVsMutexPredictor(t *testing.T) {
+	l := lib(t)
+	shapes := mixedShapes(64)
+
+	const goroutines = 8
+	const itersPer = 400
+
+	run := func(choose func(m, k, n int) int) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < itersPer; i++ {
+					sh := shapes[(g+i)%len(shapes)]
+					choose(sh.M, sh.K, sh.N)
+				}
+			}(g)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	eng := NewEngine(l, Options{CacheSize: 256, Shards: 16})
+	eng.PredictBatch(shapes, nil) // warm the sharded cache
+	pred := l.NewPredictor()
+
+	// Decisions must agree exactly before any timing comparison.
+	for _, sh := range shapes {
+		if e, p := eng.Predict(sh.M, sh.K, sh.N), pred.OptimalThreads(sh.M, sh.K, sh.N); e != p {
+			t.Fatalf("shape %v: engine %d, predictor %d", sh, e, p)
+		}
+	}
+
+	mutexTime := run(pred.OptimalThreads)
+	shardedTime := run(eng.Predict)
+	ratio := float64(mutexTime) / float64(shardedTime)
+	t.Logf("mixed-shape throughput: mutex predictor %v, sharded cache %v (%.0fx)",
+		mutexTime, shardedTime, ratio)
+	if ratio < 5 {
+		t.Errorf("sharded cache only %.1fx faster than the mutex predictor, want >= 5x", ratio)
+	}
+}

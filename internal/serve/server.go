@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sampling"
+)
+
+// PredictRequest is the JSON body of POST /predict (GET uses ?m=&k=&n=).
+type PredictRequest struct {
+	M int `json:"m"`
+	K int `json:"k"`
+	N int `json:"n"`
+}
+
+// PredictResponse is the JSON answer of /predict.
+type PredictResponse struct {
+	M       int `json:"m"`
+	K       int `json:"k"`
+	N       int `json:"n"`
+	Threads int `json:"threads"`
+	// Candidates and PredictedMicros are present only when detail was
+	// requested: the ranked thread counts and their predicted runtimes.
+	Candidates      []int     `json:"candidates,omitempty"`
+	PredictedMicros []float64 `json:"predicted_micros,omitempty"`
+}
+
+// BatchRequest is the JSON body of POST /batch.
+type BatchRequest struct {
+	Shapes []PredictRequest `json:"shapes"`
+}
+
+// BatchResponse is the JSON answer of /batch.
+type BatchResponse struct {
+	Threads []int `json:"threads"`
+}
+
+// HealthResponse is the JSON answer of /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Platform string `json:"platform"`
+	Model    string `json:"model"`
+}
+
+// endpointMetrics tracks request count and latency for one endpoint.
+type endpointMetrics struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+}
+
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	m.count.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNS.Add(ns)
+	for {
+		cur := m.maxNS.Load()
+		if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// EndpointStats is the exported snapshot of one endpoint's metrics.
+type EndpointStats struct {
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	MeanMicros float64 `json:"mean_micros"`
+	MaxMicros  float64 `json:"max_micros"`
+}
+
+func (m *endpointMetrics) snapshot() EndpointStats {
+	st := EndpointStats{Requests: m.count.Load(), Errors: m.errors.Load()}
+	if st.Requests > 0 {
+		st.MeanMicros = float64(m.totalNS.Load()) / float64(st.Requests) / 1e3
+		st.MaxMicros = float64(m.maxNS.Load()) / 1e3
+	}
+	return st
+}
+
+// StatsResponse is the JSON answer of /stats.
+type StatsResponse struct {
+	Platform string                   `json:"platform"`
+	Model    string                   `json:"model"`
+	Engine   Stats                    `json:"engine"`
+	HTTP     map[string]EndpointStats `json:"http"`
+}
+
+// MaxBatchShapes bounds one /batch request (guards against unbounded
+// request bodies monopolising the worker pool).
+const MaxBatchShapes = 16384
+
+// Server is the HTTP front end of the serving subsystem. It satisfies
+// http.Handler; mount it directly or via an http.Server.
+type Server struct {
+	engine  *Engine
+	mux     *http.ServeMux
+	predict endpointMetrics
+	batch   endpointMetrics
+}
+
+// NewServer returns an HTTP handler exposing the engine at /predict,
+// /batch, /stats and /healthz.
+func NewServer(engine *Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Engine returns the prediction engine behind the server.
+func (s *Server) Engine() *Engine { return s.engine }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// parsePredict extracts a shape from either query parameters (GET) or a
+// JSON body (POST).
+func parsePredict(r *http.Request) (PredictRequest, error) {
+	var req PredictRequest
+	switch r.Method {
+	case http.MethodGet:
+		for _, f := range []struct {
+			name string
+			dst  *int
+		}{{"m", &req.M}, {"k", &req.K}, {"n", &req.N}} {
+			v, err := strconv.Atoi(r.URL.Query().Get(f.name))
+			if err != nil {
+				return req, fmt.Errorf("query parameter %q: want a positive integer", f.name)
+			}
+			*f.dst = v
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("decode body: %v", err)
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if req.M < 1 || req.K < 1 || req.N < 1 {
+		return req, fmt.Errorf("dimensions must be positive, got %dx%dx%d", req.M, req.K, req.N)
+	}
+	return req, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.predict.observe(time.Since(start), failed) }()
+
+	req, err := parsePredict(r)
+	if err != nil {
+		status := http.StatusBadRequest
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			status = http.StatusMethodNotAllowed
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := PredictResponse{M: req.M, K: req.K, N: req.N}
+	if r.URL.Query().Get("detail") == "1" {
+		scores, best := s.engine.Rank(req.M, req.K, req.N)
+		resp.Threads = best
+		resp.Candidates = s.engine.Candidates()
+		resp.PredictedMicros = make([]float64, len(scores))
+		for i, sec := range scores {
+			resp.PredictedMicros[i] = sec * 1e6
+		}
+	} else {
+		resp.Threads = s.engine.Predict(req.M, req.K, req.N)
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.batch.observe(time.Since(start), failed) }()
+
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode body: %v", err)
+		return
+	}
+	if len(req.Shapes) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Shapes) > MaxBatchShapes {
+		writeError(w, http.StatusBadRequest, "batch of %d shapes exceeds limit %d", len(req.Shapes), MaxBatchShapes)
+		return
+	}
+	shapes := make([]sampling.Shape, 0, len(req.Shapes))
+	for i, sh := range req.Shapes {
+		if sh.M < 1 || sh.K < 1 || sh.N < 1 {
+			writeError(w, http.StatusBadRequest, "shape %d: dimensions must be positive, got %dx%dx%d", i, sh.M, sh.K, sh.N)
+			return
+		}
+		shapes = append(shapes, sampling.Shape{M: sh.M, K: sh.K, N: sh.N})
+	}
+	threads := s.engine.PredictBatch(shapes, nil)
+	failed = false
+	writeJSON(w, http.StatusOK, BatchResponse{Threads: threads})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	lib := s.engine.Library()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Platform: lib.Platform,
+		Model:    lib.ModelKind,
+		Engine:   s.engine.Stats(),
+		HTTP: map[string]EndpointStats{
+			"predict": s.predict.snapshot(),
+			"batch":   s.batch.snapshot(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	lib := s.engine.Library()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Platform: lib.Platform,
+		Model:    lib.ModelKind,
+	})
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(NewEngine(lib(t), Options{CacheSize: 256, Shards: 8}))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestServerPredictRoundTrip(t *testing.T) {
+	srv, ts := testServer(t)
+	client := NewClient(ts.URL, nil)
+
+	want := srv.Engine().Library().OptimalThreads(512, 512, 512)
+	got, err := client.Predict(512, 512, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("client answer %d, library %d", got, want)
+	}
+
+	// GET with query parameters answers identically.
+	resp, err := http.Get(ts.URL + "/predict?m=512&k=512&n=512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Threads != want || pr.M != 512 {
+		t.Errorf("GET answer %+v, want threads %d", pr, want)
+	}
+
+	// Detail mode carries the full ranking.
+	detail, err := client.PredictDetail(64, 2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Candidates) == 0 || len(detail.PredictedMicros) != len(detail.Candidates) {
+		t.Fatalf("detail ranking missing: %+v", detail)
+	}
+}
+
+func TestServerBatchRoundTrip(t *testing.T) {
+	srv, ts := testServer(t)
+	client := NewClient(ts.URL, nil)
+	shapes := mixedShapes(20)
+	got, err := client.PredictBatch(shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shapes {
+		want := srv.Engine().Library().OptimalThreads(sh.M, sh.K, sh.N)
+		if got[i] != want {
+			t.Errorf("shape %v: batch %d, library %d", sh, got[i], want)
+		}
+	}
+}
+
+func TestServerStatsAndHealth(t *testing.T) {
+	_, ts := testServer(t)
+	client := NewClient(ts.URL, nil)
+
+	h, err := client.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Platform != "Gadi" || h.Model == "" {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	if _, err := client.Predict(100, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Predict(100, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.PredictBatch(mixedShapes(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Platform != "Gadi" {
+		t.Errorf("stats platform %q", st.Platform)
+	}
+	if st.Engine.Predictions < 7 || st.Engine.CacheHits < 1 {
+		t.Errorf("engine stats %+v", st.Engine)
+	}
+	if p := st.HTTP["predict"]; p.Requests != 2 || p.MeanMicros <= 0 || p.MaxMicros < p.MeanMicros {
+		t.Errorf("predict endpoint stats %+v", p)
+	}
+	if b := st.HTTP["batch"]; b.Requests != 1 {
+		t.Errorf("batch endpoint stats %+v", b)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, ts := testServer(t)
+
+	for _, tc := range []struct {
+		name   string
+		do     func() (*http.Response, error)
+		status int
+	}{
+		{"predict missing params", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/predict")
+		}, http.StatusBadRequest},
+		{"predict bad dims", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"m":0,"k":5,"n":5}`))
+		}, http.StatusBadRequest},
+		{"predict bad json", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{`))
+		}, http.StatusBadRequest},
+		{"predict bad method", func() (*http.Response, error) {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/predict", nil)
+			return http.DefaultClient.Do(req)
+		}, http.StatusMethodNotAllowed},
+		{"batch get", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/batch")
+		}, http.StatusMethodNotAllowed},
+		{"batch empty", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/batch", "application/json", strings.NewReader(`{"shapes":[]}`))
+		}, http.StatusBadRequest},
+		{"batch bad shape", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/batch", "application/json", strings.NewReader(`{"shapes":[{"m":1,"k":1,"n":-2}]}`))
+		}, http.StatusBadRequest},
+	} {
+		resp, err := tc.do()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var apiErr apiError
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Error == "" {
+			t.Errorf("%s: error body not decodable (%v)", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+
+	// Client surfaces server-side errors.
+	client := NewClient(ts.URL, nil)
+	if _, err := client.Predict(-1, 1, 1); err == nil {
+		t.Error("client.Predict(-1,...) should error")
+	}
+	if _, err := client.PredictBatch(nil); err == nil {
+		t.Error("client.PredictBatch(nil) should error")
+	}
+}
