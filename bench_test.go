@@ -95,6 +95,55 @@ func BenchmarkSGEMM256Serial(b *testing.B)    { benchSGEMM(b, 256, 256, 256, 1) 
 func BenchmarkSGEMM256Parallel4(b *testing.B) { benchSGEMM(b, 256, 256, 256, 4) }
 func BenchmarkSGEMMSkinny(b *testing.B)       { benchSGEMM(b, 64, 2048, 64, 1) }
 
+// BenchmarkSGEMMTiny covers the no-packing small-shape fast path.
+func BenchmarkSGEMMTiny(b *testing.B) { benchSGEMM(b, 32, 32, 32, 1) }
+
+// BenchmarkSGEMMContext measures the explicit-Context path (the steady-state
+// zero-allocation contract is also enforced by a test in internal/blas).
+func BenchmarkSGEMMContext(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	A := mat.NewF32(256, 256)
+	B := mat.NewF32(256, 256)
+	C := mat.NewF32(256, 256)
+	A.FillRandom(rng)
+	B.FillRandom(rng)
+	ctx := blas.NewContext()
+	defer ctx.Close()
+	b.SetBytes(2 * 256 * 256 * 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.SGEMM(false, false, 1, A, B, 0, C, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroTiles compares the supported register micro-tiles through
+// the same blocked driver (the 4×4 tile is the default; see
+// internal/blas/kernel.go for why the wide tiles lose under gc).
+func BenchmarkMicroTiles(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	A := mat.NewF32(256, 256)
+	B := mat.NewF32(256, 256)
+	C := mat.NewF32(256, 256)
+	A.FillRandom(rng)
+	B.FillRandom(rng)
+	for _, tile := range [][2]int{{4, 4}, {8, 4}, {4, 8}} {
+		p := blas.DefaultParams()
+		p.MR, p.NR = tile[0], tile[1]
+		p.MC = 16 * tile[0]
+		p.NC = 256 * tile[1]
+		b.Run(fmt.Sprintf("%dx%d", tile[0], tile[1]), func(b *testing.B) {
+			b.SetBytes(2 * 256 * 256 * 256)
+			for i := 0; i < b.N; i++ {
+				if err := blas.SGEMMWithParams(false, false, 1, A, B, 0, C, 1, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBlockingParams ablates the cache-blocking parameters of the GEMM
 // substrate (DESIGN.md §5): default vs small blocks.
 func BenchmarkBlockingParams(b *testing.B) {
@@ -238,6 +287,38 @@ func BenchmarkModelFitXGBQuick(b *testing.B) {
 		}
 	}
 	_ = ml.RMSE // keep ml imported for future metric benches
+}
+
+// BenchmarkGemmEndToEnd measures the full runtime path of Fig 3 — model
+// prediction (served from the sharded decision cache) followed by kernel
+// execution on a pooled context — and reports allocations: the steady state
+// must allocate nothing per call.
+func BenchmarkGemmEndToEnd(b *testing.B) {
+	p, _ := experiments.PlatformByName("Gadi")
+	res, err := lab().Train(p, 500, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := &Library{inner: res.Library}
+	g := lib.NewGemm()
+	g.SetMaxLocalThreads(2)
+	rng := rand.New(rand.NewSource(4))
+	A := mat.NewF32(128, 128)
+	B := mat.NewF32(128, 128)
+	C := mat.NewF32(128, 128)
+	A.FillRandom(rng)
+	B.FillRandom(rng)
+	if err := g.SGEMM(false, false, 1, A, B, 0, C); err != nil { // warm cache + pool
+		b.Fatal(err)
+	}
+	b.SetBytes(2 * 128 * 128 * 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.SGEMM(false, false, 1, A, B, 0, C); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- serving subsystem ----------------------------------------------------

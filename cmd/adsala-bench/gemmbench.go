@@ -1,0 +1,154 @@
+package main
+
+// The GEMM trajectory harness: -gemm-json measures the executed kernel
+// (GFLOPS and allocations per shape × thread count) with testing.Benchmark
+// and writes a machine-readable report, so kernel performance is tracked
+// across changes instead of living in one-off benchmark logs. CI runs a
+// 1-iteration smoke of the same harness; committed BENCH_gemm.json files
+// record the trajectory per development machine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+// gemmBenchCase is one measured configuration.
+type gemmBenchCase struct {
+	Name    string `json:"name"`
+	M       int    `json:"m"`
+	K       int    `json:"k"`
+	N       int    `json:"n"`
+	Threads int    `json:"threads"`
+}
+
+// gemmBenchEntry is one row of the report.
+type gemmBenchEntry struct {
+	gemmBenchCase
+	NsPerOp     float64 `json:"ns_per_op"`
+	GFLOPS      float64 `json:"gflops"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// gemmBenchReport is the file layout of BENCH_gemm.json.
+type gemmBenchReport struct {
+	Schema      string           `json:"schema"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	Note        string           `json:"note"`
+	Baseline    []gemmBenchEntry `json:"baseline,omitempty"`
+	Results     []gemmBenchEntry `json:"results"`
+}
+
+// seedBaseline pins the pre-overhaul kernel's numbers (commit 63af8e0,
+// fork/join team + per-call allocation + rolled 4×4 kernel) measured on the
+// same development machine, so the report carries its own before/after.
+func seedBaseline() []gemmBenchEntry {
+	mk := func(name string, m, k, n, threads int, nsPerOp float64, allocs, bytes int64) gemmBenchEntry {
+		return gemmBenchEntry{
+			gemmBenchCase: gemmBenchCase{Name: name, M: m, K: k, N: n, Threads: threads},
+			NsPerOp:       nsPerOp,
+			GFLOPS:        2 * float64(m) * float64(k) * float64(n) / nsPerOp,
+			AllocsPerOp:   allocs,
+			BytesPerOp:    bytes,
+		}
+	}
+	return []gemmBenchEntry{
+		mk("sgemm-64", 64, 64, 64, 1, 195670, 10, 33176),
+		mk("sgemm-256", 256, 256, 256, 1, 10274571, 10, 393630),
+		mk("sgemm-256-t4", 256, 256, 256, 4, 10258009, 24, 787983),
+		mk("sgemm-skinny", 64, 2048, 64, 1, 5381165, 38, 134002),
+	}
+}
+
+// gemmBenchCases is the measured sweep: the cube sizes the paper's shape
+// domain centres on, each at the thread counts a 1–4 core machine can
+// express, plus the skinny and small-path shapes.
+func gemmBenchCases() []gemmBenchCase {
+	var cases []gemmBenchCase
+	for _, size := range []int{64, 128, 256, 512} {
+		for _, threads := range []int{1, 2, 4} {
+			cases = append(cases, gemmBenchCase{
+				Name: fmt.Sprintf("sgemm-%d-t%d", size, threads),
+				M:    size, K: size, N: size, Threads: threads,
+			})
+		}
+	}
+	cases = append(cases,
+		gemmBenchCase{Name: "sgemm-skinny-t1", M: 64, K: 2048, N: 64, Threads: 1},
+		gemmBenchCase{Name: "sgemm-small-t1", M: 32, K: 32, N: 32, Threads: 1},
+	)
+	return cases
+}
+
+// runGemmBench measures every case and writes the JSON report to path.
+// smoke restricts each case to a single iteration (the CI regression guard:
+// it exercises the full harness without paying benchmark time).
+func runGemmBench(path string, smoke bool) error {
+	cases := gemmBenchCases()
+	report := gemmBenchReport{
+		Schema:      "adsala/bench-gemm/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Note:        "flops = 2*m*k*n; steady-state pooled-context path; baseline = pre-overhaul kernel at commit 63af8e0",
+		Baseline:    seedBaseline(),
+	}
+	if smoke {
+		report.Note += "; SMOKE RUN (1 iteration per case, timings not meaningful)"
+	}
+	for _, bc := range cases {
+		rng := rand.New(rand.NewSource(1))
+		a := mat.NewF32(bc.M, bc.K)
+		b := mat.NewF32(bc.K, bc.N)
+		c := mat.NewF32(bc.M, bc.N)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		ctx := blas.NewContext()
+		// Warm outside the measurement so steady-state allocation is
+		// reported (buffers, team, and worker closure are created once).
+		if err := ctx.SGEMM(false, false, 1, a, b, 0, c, bc.Threads); err != nil {
+			return fmt.Errorf("gemm bench %s: %w", bc.Name, err)
+		}
+		entry := gemmBenchEntry{gemmBenchCase: bc}
+		if !smoke {
+			res := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					if err := ctx.SGEMM(false, false, 1, a, b, 0, c, bc.Threads); err != nil {
+						tb.Fatal(err)
+					}
+				}
+			})
+			entry.NsPerOp = float64(res.T.Nanoseconds()) / float64(res.N)
+			entry.GFLOPS = 2 * float64(bc.M) * float64(bc.K) * float64(bc.N) / entry.NsPerOp
+			entry.AllocsPerOp = res.AllocsPerOp()
+			entry.BytesPerOp = res.AllocedBytesPerOp()
+		}
+		ctx.Close()
+		report.Results = append(report.Results, entry)
+		fmt.Fprintf(os.Stderr, "gemm-bench %-16s %8.2f GFLOPS  %3d allocs/op\n",
+			bc.Name, entry.GFLOPS, entry.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,10 +1,13 @@
-// adsala-bench regenerates the paper's tables and figures as text output.
+// adsala-bench regenerates the paper's tables and figures as text output,
+// and measures the executed-GEMM performance trajectory as JSON.
 //
 // Usage:
 //
 //	adsala-bench -list
 //	adsala-bench -exp table5
 //	adsala-bench -exp all -scale default
+//	adsala-bench -gemm-json BENCH_gemm.json
+//	adsala-bench -gemm-json - -gemm-smoke
 package main
 
 import (
@@ -20,11 +23,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adsala-bench: ")
 	var (
-		exp   = flag.String("exp", "all", "experiment id or \"all\"")
-		scale = flag.String("scale", "default", "quick, default or paper")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "all", "experiment id or \"all\"")
+		scale     = flag.String("scale", "default", "quick, default or paper")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		gemmJSON  = flag.String("gemm-json", "", "measure the GEMM kernel and write a JSON report to this file (\"-\" for stdout), then exit")
+		gemmSmoke = flag.Bool("gemm-smoke", false, "with -gemm-json: run each case once without timing (CI regression guard)")
 	)
 	flag.Parse()
+
+	if *gemmJSON != "" {
+		if err := runGemmBench(*gemmJSON, *gemmSmoke); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -2,19 +2,24 @@
 // Go, following the BLIS five-loop blocked-and-packed design: the operand
 // matrices are partitioned into cache-sized panels (NC/KC/MC), panels are
 // packed into contiguous buffers, and an MR×NR register micro-kernel performs
-// the innermost rank-KC update. A goroutine team parallelises the MC loop,
-// mirroring how MKL/BLIS thread the same loop with OpenMP.
+// the innermost rank-KC update. A persistent worker team parallelises the
+// packing and MC loops, mirroring how MKL/BLIS thread the same loops with an
+// OpenMP thread pool.
 //
 // The package plays the role of the paper's vendor BLAS: ADSALA treats it as
 // a black box whose only tunable is the thread count. Its cost structure —
-// per-call fork/join, per-panel packing copies, per-iteration barriers and
-// the FLOP kernel — is exactly the decomposition the paper's VTune profiling
-// reports in Table VII.
+// fork/join (here: team wakeups), per-panel packing copies, per-iteration
+// barriers and the FLOP kernel — is exactly the decomposition the paper's
+// VTune profiling reports in Table VII.
+//
+// Execution state (packed-panel buffers, the worker team) lives in a
+// Context. The package-level entry points draw Contexts from an internal
+// pool, so steady-state calls are allocation-free; callers with a hot loop
+// can hold their own Context instead.
 package blas
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/mat"
 )
@@ -26,10 +31,11 @@ type Params struct {
 }
 
 // DefaultParams returns blocking parameters sized for typical L1/L2/L3
-// capacities. MR and NR match the hand-unrolled micro-kernel and must not be
-// changed independently of it.
+// capacities. The 4×4 micro-tile is the fastest of the supported set under
+// the gc register allocator (see kernel.go); 8×4 and 4×8 are available for
+// experimentation via SGEMMWithParams.
 func DefaultParams() Params {
-	return Params{MC: 128, KC: 256, NC: 2048, MR: microMR, NR: microNR}
+	return Params{MC: 128, KC: 256, NC: 2048, MR: defaultMR, NR: defaultNR}
 }
 
 // Validate reports whether the parameters can drive the packed kernel.
@@ -37,8 +43,8 @@ func (p Params) Validate() error {
 	if p.MC < 1 || p.KC < 1 || p.NC < 1 {
 		return fmt.Errorf("blas: non-positive block sizes %+v", p)
 	}
-	if p.MR != microMR || p.NR != microNR {
-		return fmt.Errorf("blas: micro-tile %dx%d unsupported (kernel is %dx%d)", p.MR, p.NR, microMR, microNR)
+	if !supportedTile(p.MR, p.NR) {
+		return fmt.Errorf("blas: micro-tile %dx%d unsupported (have 4x4, 8x4, 4x8)", p.MR, p.NR)
 	}
 	if p.MC%p.MR != 0 {
 		return fmt.Errorf("blas: MC=%d must be a multiple of MR=%d", p.MC, p.MR)
@@ -53,29 +59,38 @@ func (p Params) Validate() error {
 // the given number of worker goroutines (threads < 1 is treated as 1).
 // op(A) is A when transA is false and Aᵀ otherwise; likewise for B.
 // Dimension compatibility follows the BLAS convention: with m×k = op(A),
-// k×n = op(B), C must be m×n.
+// k×n = op(B), C must be m×n. The call runs on a pooled Context and
+// allocates nothing in steady state.
 func SGEMM(transA, transB bool, alpha float32, a *mat.F32, b *mat.F32, beta float32, c *mat.F32, threads int) error {
-	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
-	bv := view[float32]{b.Rows, b.Cols, b.Stride, b.Data}
-	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
-	return gemm(transA, transB, alpha, av, bv, beta, cv, threads, DefaultParams())
+	ctx := ctxPool.Get().(*Context)
+	err := ctx.SGEMM(transA, transB, alpha, a, b, beta, c, threads)
+	ctxPool.Put(ctx)
+	return err
 }
 
 // DGEMM is the double-precision counterpart of SGEMM.
 func DGEMM(transA, transB bool, alpha float64, a *mat.F64, b *mat.F64, beta float64, c *mat.F64, threads int) error {
-	av := view[float64]{a.Rows, a.Cols, a.Stride, a.Data}
-	bv := view[float64]{b.Rows, b.Cols, b.Stride, b.Data}
-	cv := view[float64]{c.Rows, c.Cols, c.Stride, c.Data}
-	return gemm(transA, transB, alpha, av, bv, beta, cv, threads, DefaultParams())
+	ctx := ctxPool.Get().(*Context)
+	err := ctx.DGEMM(transA, transB, alpha, a, b, beta, c, threads)
+	ctxPool.Put(ctx)
+	return err
 }
 
 // SGEMMWithParams is SGEMM with explicit blocking parameters; it exists for
-// the blocking-parameter benchmarks.
+// the blocking-parameter benchmarks and the wide micro-tile variants.
 func SGEMMWithParams(transA, transB bool, alpha float32, a *mat.F32, b *mat.F32, beta float32, c *mat.F32, threads int, p Params) error {
-	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
-	bv := view[float32]{b.Rows, b.Cols, b.Stride, b.Data}
-	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
-	return gemm(transA, transB, alpha, av, bv, beta, cv, threads, p)
+	ctx := ctxPool.Get().(*Context)
+	err := ctx.SGEMMWithParams(transA, transB, alpha, a, b, beta, c, threads, p)
+	ctxPool.Put(ctx)
+	return err
+}
+
+// DGEMMWithParams is DGEMM with explicit blocking parameters.
+func DGEMMWithParams(transA, transB bool, alpha float64, a *mat.F64, b *mat.F64, beta float64, c *mat.F64, threads int, p Params) error {
+	ctx := ctxPool.Get().(*Context)
+	err := ctx.DGEMMWithParams(transA, transB, alpha, a, b, beta, c, threads, p)
+	ctxPool.Put(ctx)
+	return err
 }
 
 // view is a type-parameterised matrix header over a flat backing slice.
@@ -102,34 +117,12 @@ func opAt[T float32 | float64](v view[T], trans bool, i, j int) T {
 	return v.at(i, j)
 }
 
-func gemm[T float32 | float64](transA, transB bool, alpha T, a, b view[T], beta T, c view[T], threads int, prm Params) error {
-	if err := prm.Validate(); err != nil {
-		return err
-	}
-	m, ka := opDims(a, transA)
-	kb, n := opDims(b, transB)
-	if ka != kb {
-		return fmt.Errorf("blas: inner dimensions differ: op(A) is %dx%d, op(B) is %dx%d", m, ka, kb, n)
-	}
-	if c.rows != m || c.cols != n {
-		return fmt.Errorf("blas: C is %dx%d, want %dx%d", c.rows, c.cols, m, n)
-	}
-	k := ka
-	if threads < 1 {
-		threads = 1
-	}
+func errInnerDims(m, ka, kb, n int) error {
+	return fmt.Errorf("blas: inner dimensions differ: op(A) is %dx%d, op(B) is %dx%d", m, ka, kb, n)
+}
 
-	// Degenerate cases per the BLAS spec: no FLOPs, only the beta scaling.
-	if m == 0 || n == 0 {
-		return nil
-	}
-	if alpha == 0 || k == 0 {
-		scaleC(c, beta)
-		return nil
-	}
-
-	parallelGemm(transA, transB, alpha, a, b, beta, c, m, n, k, threads, prm)
-	return nil
+func errCDims(rows, cols, m, n int) error {
+	return fmt.Errorf("blas: C is %dx%d, want %dx%d", rows, cols, m, n)
 }
 
 // scaleC applies C ← beta·C.
@@ -146,71 +139,6 @@ func scaleC[T float32 | float64](c view[T], beta T) {
 			for j := range row {
 				row[j] *= beta
 			}
-		}
-	}
-}
-
-// parallelGemm runs the five-loop algorithm with a fork-join goroutine team.
-// Loop structure (outer to inner): jc over NC columns of C, pc over KC depth,
-// ic over MC rows (parallelised across the team), then the packed macro- and
-// micro-kernels. beta is applied on the first pc iteration only.
-func parallelGemm[T float32 | float64](transA, transB bool, alpha T, a, b view[T], beta T, c view[T], m, n, k, threads int, prm Params) {
-	if threads > m/prm.MR+1 {
-		// No point having workers with no MR-row band to own.
-		threads = m/prm.MR + 1
-	}
-
-	type task struct {
-		jc, pc, ic int
-		nc, kc, mc int
-		first      bool // first pc iteration: apply beta
-	}
-
-	// Per-worker packed-A buffers; shared packed-B panel per (jc, pc).
-	// Buffers are sized to the actual problem so small GEMMs do not pay for
-	// full cache-sized panels.
-	kcEff := min(prm.KC, k)
-	ncEff := min(prm.NC, (n+prm.NR-1)/prm.NR*prm.NR)
-	mcEff := min(prm.MC, (m+prm.MR-1)/prm.MR*prm.MR)
-	packedB := make([]T, kcEff*ncEff)
-	bufA := make([][]T, threads)
-	for w := range bufA {
-		bufA[w] = make([]T, mcEff*kcEff)
-	}
-
-	for jc := 0; jc < n; jc += prm.NC {
-		nc := min(prm.NC, n-jc)
-		for pc := 0; pc < k; pc += prm.KC {
-			kc := min(prm.KC, k-pc)
-			first := pc == 0
-
-			// Pack B(pc:pc+kc, jc:jc+nc) into column-panel layout, split
-			// across the team (this is the shared packing phase that the
-			// cost model charges as data-copy plus one barrier).
-			packBParallel(b, transB, pc, jc, kc, nc, packedB, prm.NR, threads)
-
-			// Parallel ic loop: each worker owns a contiguous band of MC
-			// blocks. A second barrier closes the iteration.
-			var wg sync.WaitGroup
-			nBlocks := (m + prm.MC - 1) / prm.MC
-			for w := 0; w < threads; w++ {
-				lo := nBlocks * w / threads
-				hi := nBlocks * (w + 1) / threads
-				if lo == hi {
-					continue
-				}
-				wg.Add(1)
-				go func(w, lo, hi int) {
-					defer wg.Done()
-					for blk := lo; blk < hi; blk++ {
-						ic := blk * prm.MC
-						mc := min(prm.MC, m-ic)
-						packA(a, transA, ic, pc, mc, kc, bufA[w], prm.MR)
-						macroKernel(alpha, bufA[w], packedB, beta, c, ic, jc, mc, nc, kc, first, prm)
-					}
-				}(w, lo, hi)
-			}
-			wg.Wait()
 		}
 	}
 }

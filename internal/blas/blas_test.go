@@ -199,7 +199,7 @@ func TestParamsValidate(t *testing.T) {
 		t.Error("MC=0 should fail")
 	}
 	bad = good
-	bad.MR = 8
+	bad.MR, bad.NR = 8, 8
 	if err := bad.Validate(); err == nil {
 		t.Error("unsupported micro-tile should fail")
 	}
@@ -207,6 +207,12 @@ func TestParamsValidate(t *testing.T) {
 	bad.MC = 130 // not a multiple of MR=4
 	if err := bad.Validate(); err == nil {
 		t.Error("MC not multiple of MR should fail")
+	}
+	for _, tile := range [][2]int{{4, 4}, {8, 4}, {4, 8}} {
+		wide := Params{MC: 16 * tile[0], KC: 64, NC: 16 * tile[1], MR: tile[0], NR: tile[1]}
+		if err := wide.Validate(); err != nil {
+			t.Errorf("tile %dx%d should validate: %v", tile[0], tile[1], err)
+		}
 	}
 }
 

@@ -1,0 +1,248 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// A Context owns the resources of the GEMM hot path: the packed-A and
+// packed-B panel buffers and a persistent worker team. Reusing a Context
+// across calls makes steady-state GEMM allocation-free and replaces the
+// per-call (previously per-blocking-iteration) goroutine fork/join with
+// channel wakeups of parked workers — directly attacking two of the four
+// overhead classes in the paper's Table VII cost breakdown (thread create/
+// join and scheduling barriers; the specialised packing loops attack the
+// third, data copy).
+//
+// A Context serialises one GEMM at a time and is NOT safe for concurrent
+// use. Concurrent callers either use one Context each or call the package
+// functions (SGEMM/DGEMM), which draw Contexts from an internal sync.Pool.
+//
+// Close releases the worker team. It is optional: a Context dropped without
+// Close has a GC cleanup that stops its workers once the Context is
+// unreachable, so pooled Contexts do not leak goroutines.
+type Context struct {
+	tm  *team
+	bar barrier
+	f32 ctxBufs[float32]
+	f64 ctxBufs[float64]
+}
+
+// NewContext returns an empty Context; buffers and workers are created
+// lazily on first use and grow to the largest problem seen.
+func NewContext() *Context { return &Context{} }
+
+// Close stops the context's worker team. The Context remains usable; the
+// team is recreated on the next parallel call.
+func (c *Context) Close() {
+	if c.tm != nil {
+		c.tm.st.close()
+		c.tm = nil
+	}
+}
+
+// SGEMM computes C ← alpha·op(A)·op(B) + beta·C in single precision on this
+// context with the given number of threads (values < 1 mean 1).
+func (c *Context) SGEMM(transA, transB bool, alpha float32, a, b *mat.F32, beta float32, cm *mat.F32, threads int) error {
+	return c.SGEMMWithParams(transA, transB, alpha, a, b, beta, cm, threads, DefaultParams())
+}
+
+// DGEMM is the double-precision counterpart of SGEMM.
+func (c *Context) DGEMM(transA, transB bool, alpha float64, a, b *mat.F64, beta float64, cm *mat.F64, threads int) error {
+	return c.DGEMMWithParams(transA, transB, alpha, a, b, beta, cm, threads, DefaultParams())
+}
+
+// SGEMMWithParams is SGEMM with explicit blocking parameters.
+func (c *Context) SGEMMWithParams(transA, transB bool, alpha float32, a, b *mat.F32, beta float32, cm *mat.F32, threads int, p Params) error {
+	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float32]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float32]{cm.Rows, cm.Cols, cm.Stride, cm.Data}
+	return gemmCtx(c, transA, transB, alpha, av, bv, beta, cv, threads, p)
+}
+
+// DGEMMWithParams is DGEMM with explicit blocking parameters.
+func (c *Context) DGEMMWithParams(transA, transB bool, alpha float64, a, b *mat.F64, beta float64, cm *mat.F64, threads int, p Params) error {
+	av := view[float64]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float64]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float64]{cm.Rows, cm.Cols, cm.Stride, cm.Data}
+	return gemmCtx(c, transA, transB, alpha, av, bv, beta, cv, threads, p)
+}
+
+// ctxPool backs the package-level SGEMM/DGEMM entry points: steady-state
+// calls reuse a warmed Context and allocate nothing.
+var ctxPool = sync.Pool{New: func() any { return NewContext() }}
+
+// ctxBufs is the per-precision half of a Context: grow-only packing buffers
+// plus the pre-built worker closure and its argument block, so dispatching a
+// call writes a struct instead of allocating a fresh closure.
+type ctxBufs[T float32 | float64] struct {
+	packedB []T
+	packedA [][]T // one panel buffer per team part
+	args    callArgs[T]
+	body    func(w int)
+}
+
+// callArgs carries one GEMM call's parameters to the team workers.
+type callArgs[T float32 | float64] struct {
+	transA, transB bool
+	alpha, beta    T
+	a, b, c        view[T]
+	m, n, k        int
+	parts          int
+	prm            Params
+}
+
+// bufsFor selects the context's buffer set for T.
+func bufsFor[T float32 | float64](ctx *Context) *ctxBufs[T] {
+	if p, ok := any(&ctx.f32).(*ctxBufs[T]); ok {
+		return p
+	}
+	return any(&ctx.f64).(*ctxBufs[T])
+}
+
+// ensure grows the packing buffers to hold parts A panels of aLen elements
+// and one B panel of bLen elements.
+func (b *ctxBufs[T]) ensure(parts, aLen, bLen int) {
+	if cap(b.packedB) < bLen {
+		b.packedB = make([]T, bLen)
+	}
+	b.packedB = b.packedB[:bLen]
+	for len(b.packedA) < parts {
+		b.packedA = append(b.packedA, nil)
+	}
+	for w := 0; w < parts; w++ {
+		if cap(b.packedA[w]) < aLen {
+			b.packedA[w] = make([]T, aLen)
+		}
+		b.packedA[w] = b.packedA[w][:aLen]
+	}
+}
+
+// ensureTeam returns a team with at least the given worker count, stopping
+// and replacing a smaller one. The GC cleanup closes the replacement's quit
+// channel when the Context itself dies unclosed.
+func (c *Context) ensureTeam(workers int) *team {
+	if c.tm == nil || c.tm.size < workers {
+		if c.tm != nil {
+			c.tm.st.close()
+		}
+		c.tm = newTeam(workers)
+		runtime.AddCleanup(c, func(st *teamState) { st.close() }, c.tm.st)
+	}
+	return c.tm
+}
+
+// gemmCtx is the five-loop driver: argument checking, degenerate cases, the
+// small-shape fast path, buffer/team setup, and the worker dispatch.
+func gemmCtx[T float32 | float64](ctx *Context, transA, transB bool, alpha T, a, b view[T], beta T, c view[T], threads int, prm Params) error {
+	if err := prm.Validate(); err != nil {
+		return err
+	}
+	m, ka := opDims(a, transA)
+	kb, n := opDims(b, transB)
+	if ka != kb {
+		return errInnerDims(m, ka, kb, n)
+	}
+	if c.rows != m || c.cols != n {
+		return errCDims(c.rows, c.cols, m, n)
+	}
+	k := ka
+	if threads < 1 {
+		threads = 1
+	}
+
+	// Degenerate cases per the BLAS spec: no FLOPs, only the beta scaling.
+	if m == 0 || n == 0 {
+		return nil
+	}
+	if alpha == 0 || k == 0 {
+		scaleC(c, beta)
+		return nil
+	}
+
+	// Small shapes skip packing entirely: below the threshold the panel
+	// copies and phase barriers cost more than they save. Only the default
+	// blocking takes this path — explicit Params mean the caller is
+	// studying the packed algorithm (ablations, micro-tile comparisons)
+	// and must get exactly the configuration they asked for.
+	if prm == DefaultParams() && smallShape(m, n, k) {
+		smallGemm(transA, transB, alpha, a, b, beta, c, m, n, k)
+		return nil
+	}
+
+	// No point having workers with no MR-row band to own.
+	if threads > m/prm.MR+1 {
+		threads = m/prm.MR + 1
+	}
+
+	// Buffers are sized to the actual problem (grow-only), so small GEMMs
+	// do not pay for full cache-sized panels.
+	kcEff := min(prm.KC, k)
+	ncEff := min(prm.NC, (n+prm.NR-1)/prm.NR*prm.NR)
+	mcEff := min(prm.MC, (m+prm.MR-1)/prm.MR*prm.MR)
+	bufs := bufsFor[T](ctx)
+	bufs.ensure(threads, mcEff*kcEff, kcEff*ncEff)
+	bufs.args = callArgs[T]{
+		transA: transA, transB: transB,
+		alpha: alpha, beta: beta,
+		a: a, b: b, c: c,
+		m: m, n: n, k: k,
+		parts: threads,
+		prm:   prm,
+	}
+	ctx.bar.reset(threads)
+	if threads == 1 {
+		gemmWorker(ctx, bufs, 0)
+	} else {
+		if bufs.body == nil {
+			body := func(w int) { gemmWorker(ctx, bufs, w) }
+			bufs.body = body
+		}
+		ctx.ensureTeam(threads-1).run(threads, bufs.body)
+	}
+	// Drop the operand views: a held (or pooled) Context must not pin the
+	// caller's matrices after the call returns.
+	bufs.args = callArgs[T]{}
+	return nil
+}
+
+// gemmWorker is the per-part body of the five-loop algorithm. All parts
+// execute the same jc/pc loop structure; within each blocking iteration the
+// B panel is packed cooperatively (phase 1), a barrier publishes it, each
+// part then packs and multiplies its own band of MC blocks (phase 2), and a
+// second barrier closes the iteration before the shared B panel is reused.
+// Block ownership depends only on (w, parts), so the floating-point
+// summation order — and therefore the result — is identical for every
+// parts value.
+func gemmWorker[T float32 | float64](ctx *Context, bufs *ctxBufs[T], w int) {
+	ar := &bufs.args
+	prm := ar.prm
+	parts := ar.parts
+	m, n, k := ar.m, ar.n, ar.k
+	for jc := 0; jc < n; jc += prm.NC {
+		nc := min(prm.NC, n-jc)
+		nPanels := (nc + prm.NR - 1) / prm.NR
+		nBlocks := (m + prm.MC - 1) / prm.MC
+		for pc := 0; pc < k; pc += prm.KC {
+			kc := min(prm.KC, k-pc)
+			first := pc == 0
+
+			lo := nPanels * w / parts
+			hi := nPanels * (w + 1) / parts
+			packBRange(ar.b, ar.transB, pc, jc, kc, nc, lo, hi, bufs.packedB, prm.NR)
+			ctx.bar.wait()
+
+			blo := nBlocks * w / parts
+			bhi := nBlocks * (w + 1) / parts
+			for blk := blo; blk < bhi; blk++ {
+				ic := blk * prm.MC
+				mc := min(prm.MC, m-ic)
+				packA(ar.a, ar.transA, ic, pc, mc, kc, bufs.packedA[w], prm.MR)
+				macroKernel(ar.alpha, bufs.packedA[w], bufs.packedB, ar.beta, ar.c, ic, jc, mc, nc, kc, first, prm)
+			}
+			ctx.bar.wait()
+		}
+	}
+}

@@ -1,84 +1,30 @@
 package blas
 
-import "sync"
-
-// The register micro-tile. The micro-kernel below is hand-unrolled for this
-// exact shape; Params.Validate enforces agreement.
+// Register micro-kernels. The macro-kernel dispatches on the (MR, NR) pair
+// from Params; Validate restricts callers to the tiles implemented here.
+//
+// Tile selection (measured on the development machine, see BENCH_gemm.json):
+// the gc compiler has only 16 XMM registers, so the 8×4 and 4×8 tiles spill
+// accumulators to the stack and run ~35% slower than 4×4 despite touching
+// more FLOPs per loop. The 4×4 kernel with the k-loop unrolled 4× is the
+// fastest pure-Go variant (~1.5× the rolled kernel) and is the default; the
+// wide tiles remain available through Params for platforms with more vector
+// registers (and for the blocking-parameter ablation experiments).
 const (
-	microMR = 4
-	microNR = 4
+	defaultMR = 4
+	defaultNR = 4
+	// maxTile is the largest MR*NR product across supported tiles; the
+	// macro-kernel's accumulator block is sized to it.
+	maxTile = 32
 )
 
-// packA copies the mc×kc block of op(A) starting at (ic, pc) into buf in
-// MR-row panel order: panel 0 holds rows ic..ic+MR-1 column-major by k,
-// padded with zeros when mc is not a multiple of MR. This layout lets the
-// micro-kernel stream A with unit stride.
-func packA[T float32 | float64](a view[T], trans bool, ic, pc, mc, kc int, buf []T, mr int) {
-	idx := 0
-	for i0 := 0; i0 < mc; i0 += mr {
-		ib := min(mr, mc-i0)
-		for p := 0; p < kc; p++ {
-			for i := 0; i < ib; i++ {
-				buf[idx] = opAt(a, trans, ic+i0+i, pc+p)
-				idx++
-			}
-			for i := ib; i < mr; i++ {
-				buf[idx] = 0
-				idx++
-			}
-		}
+// supportedTile reports whether an (mr, nr) micro-tile has a kernel.
+func supportedTile(mr, nr int) bool {
+	switch {
+	case mr == 4 && nr == 4, mr == 8 && nr == 4, mr == 4 && nr == 8:
+		return true
 	}
-}
-
-// packBPanel copies the kc×nb block of op(B) starting at (pc, jc+j0) into
-// buf in NR-column panel order, zero-padded to NR.
-func packBPanel[T float32 | float64](b view[T], trans bool, pc, jc, j0, kc, nb int, buf []T, nr int) {
-	idx := 0
-	for p := 0; p < kc; p++ {
-		for j := 0; j < nb; j++ {
-			buf[idx] = opAt(b, trans, pc+p, jc+j0+j)
-			idx++
-		}
-		for j := nb; j < nr; j++ {
-			buf[idx] = 0
-			idx++
-		}
-	}
-}
-
-// packBParallel packs the kc×nc panel of op(B) into packed NR-column panels,
-// splitting the NR panels across the goroutine team.
-func packBParallel[T float32 | float64](b view[T], trans bool, pc, jc, kc, nc int, packed []T, nr, threads int) {
-	nPanels := (nc + nr - 1) / nr
-	if threads > nPanels {
-		threads = nPanels
-	}
-	if threads <= 1 {
-		for pn := 0; pn < nPanels; pn++ {
-			j0 := pn * nr
-			nb := min(nr, nc-j0)
-			packBPanel(b, trans, pc, jc, j0, kc, nb, packed[pn*kc*nr:(pn+1)*kc*nr], nr)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		lo := nPanels * w / threads
-		hi := nPanels * (w + 1) / threads
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for pn := lo; pn < hi; pn++ {
-				j0 := pn * nr
-				nb := min(nr, nc-j0)
-				packBPanel(b, trans, pc, jc, j0, kc, nb, packed[pn*kc*nr:(pn+1)*kc*nr], nr)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	return false
 }
 
 // macroKernel multiplies the packed mc×kc A block with the packed kc×nc B
@@ -86,31 +32,126 @@ func packBParallel[T float32 | float64](b view[T], trans bool, pc, jc, kc, nc in
 // applied (only on the first KC iteration).
 func macroKernel[T float32 | float64](alpha T, packedA, packedB []T, beta T, c view[T], ic, jc, mc, nc, kc int, first bool, prm Params) {
 	mr, nr := prm.MR, prm.NR
-	var acc [microMR * microNR]T
+	var acc [maxTile]T
 	for i0 := 0; i0 < mc; i0 += mr {
 		ib := min(mr, mc-i0)
 		aPanel := packedA[(i0/mr)*kc*mr:]
 		for j0 := 0; j0 < nc; j0 += nr {
 			jb := min(nr, nc-j0)
 			bPanel := packedB[(j0/nr)*kc*nr:]
-			microKernel(aPanel, bPanel, kc, &acc)
-			storeTile(alpha, beta, first, &acc, c, ic+i0, jc+j0, ib, jb)
+			switch {
+			case mr == 4 && nr == 4:
+				micro4x4(aPanel, bPanel, kc, &acc)
+			case mr == 8 && nr == 4:
+				micro8x4(aPanel, bPanel, kc, &acc)
+			default: // 4x8, enforced by Validate
+				micro4x8(aPanel, bPanel, kc, &acc)
+			}
+			storeTile(alpha, beta, first, &acc, c, ic+i0, jc+j0, ib, jb, nr)
 		}
 	}
 }
 
-// microKernel computes acc = Apanel · Bpanel for one MR×NR tile, where
-// Apanel is kc steps of MR values and Bpanel kc steps of NR values. The
-// accumulators live in registers; this is where all FLOPs happen.
-func microKernel[T float32 | float64](aPanel, bPanel []T, kc int, acc *[microMR * microNR]T) {
+// micro4x4 computes one 4×4 tile over kc rank-1 updates. The k loop is
+// unrolled 4×: the accumulators stay in registers across the unrolled body,
+// and the per-step slice expressions collapse the bounds checks to one per
+// operand per step. The per-accumulator addition order is identical to the
+// rolled loop (ascending p), so results are bit-identical to it.
+func micro4x4[T float32 | float64](aPanel, bPanel []T, kc int, acc *[maxTile]T) {
 	var c00, c01, c02, c03 T
 	var c10, c11, c12, c13 T
 	var c20, c21, c22, c23 T
 	var c30, c31, c32, c33 T
-	ai, bi := 0, 0
-	for p := 0; p < kc; p++ {
-		a0, a1, a2, a3 := aPanel[ai], aPanel[ai+1], aPanel[ai+2], aPanel[ai+3]
-		b0, b1, b2, b3 := bPanel[bi], bPanel[bi+1], bPanel[bi+2], bPanel[bi+3]
+	p := 0
+	for ; p+3 < kc; p += 4 {
+		a := aPanel[p*4 : p*4+16]
+		b := bPanel[p*4 : p*4+16]
+		{
+			a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+			b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c22 += a2 * b2
+			c23 += a2 * b3
+			c30 += a3 * b0
+			c31 += a3 * b1
+			c32 += a3 * b2
+			c33 += a3 * b3
+		}
+		{
+			a0, a1, a2, a3 := a[4], a[5], a[6], a[7]
+			b0, b1, b2, b3 := b[4], b[5], b[6], b[7]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c22 += a2 * b2
+			c23 += a2 * b3
+			c30 += a3 * b0
+			c31 += a3 * b1
+			c32 += a3 * b2
+			c33 += a3 * b3
+		}
+		{
+			a0, a1, a2, a3 := a[8], a[9], a[10], a[11]
+			b0, b1, b2, b3 := b[8], b[9], b[10], b[11]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c22 += a2 * b2
+			c23 += a2 * b3
+			c30 += a3 * b0
+			c31 += a3 * b1
+			c32 += a3 * b2
+			c33 += a3 * b3
+		}
+		{
+			a0, a1, a2, a3 := a[12], a[13], a[14], a[15]
+			b0, b1, b2, b3 := b[12], b[13], b[14], b[15]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c22 += a2 * b2
+			c23 += a2 * b3
+			c30 += a3 * b0
+			c31 += a3 * b1
+			c32 += a3 * b2
+			c33 += a3 * b3
+		}
+	}
+	for ; p < kc; p++ {
+		a := aPanel[p*4 : p*4+4]
+		b := bPanel[p*4 : p*4+4]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
 		c00 += a0 * b0
 		c01 += a0 * b1
 		c02 += a0 * b2
@@ -127,8 +168,6 @@ func microKernel[T float32 | float64](aPanel, bPanel []T, kc int, acc *[microMR 
 		c31 += a3 * b1
 		c32 += a3 * b2
 		c33 += a3 * b3
-		ai += microMR
-		bi += microNR
 	}
 	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
 	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
@@ -136,21 +175,153 @@ func microKernel[T float32 | float64](aPanel, bPanel []T, kc int, acc *[microMR 
 	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
 }
 
+// micro8x4 computes one 8×4 tile (row-major acc layout, stride 4).
+func micro8x4[T float32 | float64](aPanel, bPanel []T, kc int, acc *[maxTile]T) {
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	var c20, c21, c22, c23 T
+	var c30, c31, c32, c33 T
+	var c40, c41, c42, c43 T
+	var c50, c51, c52, c53 T
+	var c60, c61, c62, c63 T
+	var c70, c71, c72, c73 T
+	for p := 0; p < kc; p++ {
+		a := aPanel[p*8 : p*8+8]
+		b := bPanel[p*4 : p*4+4]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		a0, a1 := a[0], a[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a2, a3 := a[2], a[3]
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		a4, a5 := a[4], a[5]
+		c40 += a4 * b0
+		c41 += a4 * b1
+		c42 += a4 * b2
+		c43 += a4 * b3
+		c50 += a5 * b0
+		c51 += a5 * b1
+		c52 += a5 * b2
+		c53 += a5 * b3
+		a6, a7 := a[6], a[7]
+		c60 += a6 * b0
+		c61 += a6 * b1
+		c62 += a6 * b2
+		c63 += a6 * b3
+		c70 += a7 * b0
+		c71 += a7 * b1
+		c72 += a7 * b2
+		c73 += a7 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+	acc[16], acc[17], acc[18], acc[19] = c40, c41, c42, c43
+	acc[20], acc[21], acc[22], acc[23] = c50, c51, c52, c53
+	acc[24], acc[25], acc[26], acc[27] = c60, c61, c62, c63
+	acc[28], acc[29], acc[30], acc[31] = c70, c71, c72, c73
+}
+
+// micro4x8 computes one 4×8 tile (row-major acc layout, stride 8).
+func micro4x8[T float32 | float64](aPanel, bPanel []T, kc int, acc *[maxTile]T) {
+	var c00, c01, c02, c03, c04, c05, c06, c07 T
+	var c10, c11, c12, c13, c14, c15, c16, c17 T
+	var c20, c21, c22, c23, c24, c25, c26, c27 T
+	var c30, c31, c32, c33, c34, c35, c36, c37 T
+	for p := 0; p < kc; p++ {
+		a := aPanel[p*4 : p*4+4]
+		b := bPanel[p*8 : p*8+8]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		b4, b5, b6, b7 := b[4], b[5], b[6], b[7]
+		a0 := a[0]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c04 += a0 * b4
+		c05 += a0 * b5
+		c06 += a0 * b6
+		c07 += a0 * b7
+		a1 := a[1]
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c14 += a1 * b4
+		c15 += a1 * b5
+		c16 += a1 * b6
+		c17 += a1 * b7
+		a2 := a[2]
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c24 += a2 * b4
+		c25 += a2 * b5
+		c26 += a2 * b6
+		c27 += a2 * b7
+		a3 := a[3]
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		c34 += a3 * b4
+		c35 += a3 * b5
+		c36 += a3 * b6
+		c37 += a3 * b7
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c04, c05, c06, c07
+	acc[8], acc[9], acc[10], acc[11] = c10, c11, c12, c13
+	acc[12], acc[13], acc[14], acc[15] = c14, c15, c16, c17
+	acc[16], acc[17], acc[18], acc[19] = c20, c21, c22, c23
+	acc[20], acc[21], acc[22], acc[23] = c24, c25, c26, c27
+	acc[24], acc[25], acc[26], acc[27] = c30, c31, c32, c33
+	acc[28], acc[29], acc[30], acc[31] = c34, c35, c36, c37
+}
+
 // storeTile writes the accumulated tile into C with alpha/beta handling,
-// clipping to the ib×jb valid region.
-func storeTile[T float32 | float64](alpha, beta T, first bool, acc *[microMR * microNR]T, c view[T], ci, cj, ib, jb int) {
+// clipping to the ib×jb valid region. nr is the accumulator row stride.
+func storeTile[T float32 | float64](alpha, beta T, first bool, acc *[maxTile]T, c view[T], ci, cj, ib, jb, nr int) {
 	for i := 0; i < ib; i++ {
-		row := c.data[(ci+i)*c.stride+cj:]
-		for j := 0; j < jb; j++ {
-			v := alpha * acc[i*microNR+j]
-			if first {
-				if beta == 0 {
-					row[j] = v
-				} else {
-					row[j] = beta*row[j] + v
+		row := c.data[(ci+i)*c.stride+cj : (ci+i)*c.stride+cj+jb]
+		av := acc[i*nr : i*nr+jb]
+		switch {
+		case !first:
+			if alpha == 1 {
+				for j, v := range av {
+					row[j] += v
 				}
 			} else {
-				row[j] += v
+				for j, v := range av {
+					row[j] += alpha * v
+				}
+			}
+		case beta == 0:
+			if alpha == 1 {
+				copy(row, av)
+			} else {
+				for j, v := range av {
+					row[j] = alpha * v
+				}
+			}
+		default:
+			for j, v := range av {
+				row[j] = beta*row[j] + alpha*v
 			}
 		}
 	}

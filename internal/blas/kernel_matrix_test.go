@@ -1,0 +1,419 @@
+package blas
+
+// Cross-validation of every execution path of the packed GEMM — all
+// supported micro-tiles × all four transpose combinations × edge dimensions
+// (1, MR±1, non-multiples of MC/KC/NC) × non-unit strides — against the
+// naive reference, plus the same matrix through the small-shape path, a
+// context-reuse test, steady-state allocation checks, and a concurrent
+// stress test that hammers the pooled contexts (run under -race in CI).
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mat"
+)
+
+// forcePath pins the small-shape threshold for the duration of a test so a
+// case exercises exactly one execution path.
+func forcePath(t *testing.T, limit int) {
+	t.Helper()
+	old := smallShapeLimit
+	smallShapeLimit = limit
+	t.Cleanup(func() { smallShapeLimit = old })
+}
+
+const (
+	forcePacked = 0       // every shape takes the packed kernel
+	forceSmall  = 1 << 40 // every shape takes the small path
+	sentinelF32 = float32(9.25e18)
+	sentinelF64 = float64(9.25e18)
+)
+
+// stridedF32 builds an r×c matrix with the given extra stride padding,
+// random logical content and sentinel-filled padding.
+func stridedF32(r, c, extra int, rng *rand.Rand) *mat.F32 {
+	stride := c + extra
+	m := &mat.F32{Rows: r, Cols: c, Stride: stride, Data: make([]float32, r*stride)}
+	for i := range m.Data {
+		m.Data[i] = sentinelF32
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, float32(rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func stridedF64(r, c, extra int, rng *rand.Rand) *mat.F64 {
+	stride := c + extra
+	m := &mat.F64{Rows: r, Cols: c, Stride: stride, Data: make([]float64, r*stride)}
+	for i := range m.Data {
+		m.Data[i] = sentinelF64
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// checkPaddingF32 fails if any sentinel outside the logical region of m was
+// overwritten.
+func checkPaddingF32(t *testing.T, m *mat.F32, label string) {
+	t.Helper()
+	for i := 0; i < m.Rows; i++ {
+		for j := m.Cols; j < m.Stride; j++ {
+			if m.Data[i*m.Stride+j] != sentinelF32 {
+				t.Fatalf("%s: wrote outside logical region at (%d,%d)", label, i, j)
+			}
+		}
+	}
+}
+
+// matrixDims returns the edge-dimension set for a tile: 1, MR−1, MR+1,
+// and values that leave remainders against the small MC/KC/NC blocking the
+// matrix test runs with.
+func matrixDims(r int) []int {
+	set := map[int]bool{}
+	var dims []int
+	for _, d := range []int{1, r - 1, r + 1, 2*r + 1, 17, 33} {
+		if d >= 1 && !set[d] {
+			set[d] = true
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+// TestPackedMatchesNaiveMatrix is the exhaustive edge-case matrix for the
+// packed path. Blocking parameters are shrunk so MC/KC/NC boundaries land
+// inside the test dimensions, and the transpose combination, thread count,
+// and stride padding rotate per shape so the whole matrix stays fast while
+// covering every axis.
+func TestPackedMatchesNaiveMatrix(t *testing.T) {
+	forcePath(t, forcePacked)
+	rng := rand.New(rand.NewSource(20))
+	for _, tile := range [][2]int{{4, 4}, {8, 4}, {4, 8}} {
+		mr, nr := tile[0], tile[1]
+		prm := Params{MC: 2 * mr, KC: 10, NC: 2 * nr, MR: mr, NR: nr}
+		if err := prm.Validate(); err != nil {
+			t.Fatalf("tile %dx%d params: %v", mr, nr, err)
+		}
+		mDims := matrixDims(mr)
+		nDims := matrixDims(nr)
+		kDims := []int{1, 9, 10, 11, 21}
+		combo := 0
+		for _, m := range mDims {
+			for _, k := range kDims {
+				for _, n := range nDims {
+					transA := combo&1 != 0
+					transB := combo&2 != 0
+					threads := 1 + combo%4
+					extra := (combo % 3) * 3 // 0, 3, 6 stride padding
+					alpha := float32(1.25)
+					beta := float32(0.5)
+					if combo%5 == 0 {
+						beta = 0
+					}
+					combo++
+
+					ar, ac := m, k
+					if transA {
+						ar, ac = k, m
+					}
+					br, bc := k, n
+					if transB {
+						br, bc = n, k
+					}
+					a := stridedF32(ar, ac, extra, rng)
+					b := stridedF32(br, bc, extra, rng)
+					c := stridedF32(m, n, extra, rng)
+					want := c.Clone()
+					NaiveSGEMM(transA, transB, alpha, a, b, beta, want)
+					if err := SGEMMWithParams(transA, transB, alpha, a, b, beta, c, threads, prm); err != nil {
+						t.Fatalf("tile %dx%d m=%d k=%d n=%d ta=%v tb=%v: %v", mr, nr, m, k, n, transA, transB, err)
+					}
+					if d := c.Clone().MaxAbsDiff(want); d > tolF32(k) {
+						t.Errorf("tile %dx%d m=%d k=%d n=%d ta=%v tb=%v threads=%d: max diff %v > %v",
+							mr, nr, m, k, n, transA, transB, threads, d, tolF32(k))
+					}
+					checkPaddingF32(t, c, "packed C")
+				}
+			}
+		}
+	}
+}
+
+// TestSmallPathMatchesNaiveMatrix runs the same transpose × edge-dimension ×
+// stride matrix through the no-packing small path, in both precisions.
+func TestSmallPathMatchesNaiveMatrix(t *testing.T) {
+	forcePath(t, forceSmall)
+	rng := rand.New(rand.NewSource(21))
+	dims := []int{1, 2, 3, 5, 8, 13}
+	combo := 0
+	for _, m := range dims {
+		for _, k := range dims {
+			for _, n := range dims {
+				transA := combo&1 != 0
+				transB := combo&2 != 0
+				extra := (combo % 3) * 2
+				beta := 0.75
+				if combo%4 == 0 {
+					beta = 0
+				}
+				combo++
+
+				ar, ac := m, k
+				if transA {
+					ar, ac = k, m
+				}
+				br, bc := k, n
+				if transB {
+					br, bc = n, k
+				}
+				a := stridedF64(ar, ac, extra, rng)
+				b := stridedF64(br, bc, extra, rng)
+				c := stridedF64(m, n, extra, rng)
+				want := c.Clone()
+				NaiveDGEMM(transA, transB, -1.5, a, b, beta, want)
+				if err := DGEMM(transA, transB, -1.5, a, b, beta, c, 3); err != nil {
+					t.Fatalf("m=%d k=%d n=%d ta=%v tb=%v: %v", m, k, n, transA, transB, err)
+				}
+				if d := c.Clone().MaxAbsDiff(want); d > tolF64(k) {
+					t.Errorf("m=%d k=%d n=%d ta=%v tb=%v: max diff %v", m, k, n, transA, transB, d)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedThreadDeterminism pins the bit-exactness guarantee on the packed
+// path: block ownership depends only on (w, parts), and per-element
+// summation order is independent of the team size, so any thread count must
+// reproduce the serial result exactly.
+func TestPackedThreadDeterminism(t *testing.T) {
+	forcePath(t, forcePacked)
+	rng := rand.New(rand.NewSource(22))
+	for _, sh := range [][3]int{{97, 53, 41}, {129, 256, 65}, {64, 300, 48}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randF32(m, k, rng)
+		b := randF32(k, n, rng)
+		ref := mat.NewF32(m, n)
+		if err := SGEMM(false, false, 1, a, b, 0, ref, 1); err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{2, 3, 5, 8} {
+			c := mat.NewF32(m, n)
+			if err := SGEMM(false, false, 1, a, b, 0, c, threads); err != nil {
+				t.Fatal(err)
+			}
+			if d := c.MaxAbsDiff(ref); d != 0 {
+				t.Errorf("shape %v threads=%d: differs from serial by %v (want bit-identical)", sh, threads, d)
+			}
+		}
+	}
+}
+
+// TestContextReuse drives one Context through mixed precisions, shapes,
+// thread counts, and blocking parameters, with Close in the middle — the
+// team and buffers must regrow transparently.
+func TestContextReuse(t *testing.T) {
+	forcePath(t, forcePacked)
+	rng := rand.New(rand.NewSource(23))
+	ctx := NewContext()
+	defer ctx.Close()
+	shapes := [][4]int{{30, 20, 25, 1}, {64, 64, 64, 4}, {10, 10, 10, 2}, {80, 33, 47, 3}}
+	for round := 0; round < 2; round++ {
+		for _, sh := range shapes {
+			m, k, n, threads := sh[0], sh[1], sh[2], sh[3]
+			a32 := randF32(m, k, rng)
+			b32 := randF32(k, n, rng)
+			c32 := mat.NewF32(m, n)
+			want32 := mat.NewF32(m, n)
+			NaiveSGEMM(false, false, 1, a32, b32, 0, want32)
+			if err := ctx.SGEMM(false, false, 1, a32, b32, 0, c32, threads); err != nil {
+				t.Fatal(err)
+			}
+			if d := c32.MaxAbsDiff(want32); d > tolF32(k) {
+				t.Errorf("round %d f32 %v: diff %v", round, sh, d)
+			}
+			a64 := randF64(m, k, rng)
+			b64 := randF64(k, n, rng)
+			c64 := mat.NewF64(m, n)
+			want64 := mat.NewF64(m, n)
+			NaiveDGEMM(false, false, 2, a64, b64, 0, want64)
+			if m != k {
+				// Dimension errors must not corrupt the reused context.
+				if err := ctx.DGEMM(true, false, 2, a64, b64, 0, c64, threads); err == nil {
+					t.Fatalf("round %d: transposed A with untransposed dims should error", round)
+				}
+			}
+			if err := ctx.DGEMM(false, false, 2, a64, b64, 0, c64, threads); err != nil {
+				t.Fatal(err)
+			}
+			if d := c64.MaxAbsDiff(want64); d > tolF64(k) {
+				t.Errorf("round %d f64 %v: diff %v", round, sh, d)
+			}
+		}
+		ctx.Close() // next round must recreate the team
+	}
+	ctx.Close() // idempotent
+}
+
+// TestContextWorkersReclaimedByGC drops an un-Closed Context after parallel
+// use and verifies its parked workers exit: the GC cleanup must reach the
+// team, which requires run() to drop its job closure (the closure references
+// the Context) after every round.
+func TestContextWorkersReclaimedByGC(t *testing.T) {
+	forcePath(t, forcePacked)
+	rng := rand.New(rand.NewSource(26))
+	a := randF32(64, 64, rng)
+	b := randF32(64, 64, rng)
+	c := mat.NewF32(64, 64)
+	// Let workers of previously-Closed teams finish exiting so the baseline
+	// is stable.
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		time.Sleep(2 * time.Millisecond)
+		cur := runtime.NumGoroutine()
+		if cur >= before {
+			before = cur
+			break
+		}
+		before = cur
+	}
+	func() {
+		ctx := NewContext() // deliberately not Closed
+		for i := 0; i < 2; i++ {
+			if err := ctx.SGEMM(false, false, 1, a, b, 0, c, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := runtime.NumGoroutine(); got < before+3 {
+			t.Fatalf("expected 3 parked workers, goroutines %d -> %d", before, got)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("worker goroutines not reclaimed after GC: %d -> %d", before, runtime.NumGoroutine())
+}
+
+// TestSGEMMZeroAllocSteadyState enforces the zero-allocation guarantee of
+// both the Context path and the pooled package path once warm.
+func TestSGEMMZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are perturbed by the race detector")
+	}
+	rng := rand.New(rand.NewSource(24))
+	a := randF32(128, 96, rng)
+	b := randF32(96, 112, rng)
+	c := mat.NewF32(128, 112)
+	for _, tc := range []struct {
+		name    string
+		threads int
+	}{{"serial", 1}, {"team2", 2}, {"team4", 4}} {
+		ctx := NewContext()
+		for i := 0; i < 2; i++ { // warm: buffers, team, worker closure
+			if err := ctx.SGEMM(false, false, 1, a, b, 0, c, tc.threads); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := ctx.SGEMM(false, false, 1, a, b, 0, c, tc.threads); err != nil {
+				t.Fatal(err)
+			}
+		})
+		ctx.Close()
+		if allocs != 0 {
+			t.Errorf("Context.SGEMM %s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+	for i := 0; i < 3; i++ { // warm the package pool
+		if err := SGEMM(false, false, 1, a, b, 0, c, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := SGEMM(false, false, 1, a, b, 0, c, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pooled blas.SGEMM: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentGemmPoolStress hammers the pooled contexts from concurrent
+// callers with mixed shapes and thread counts. Run under -race in CI: it is
+// the guard against buffer sharing between pooled contexts and against
+// worker-team wakeup races.
+func TestConcurrentGemmPoolStress(t *testing.T) {
+	forcePath(t, forcePacked)
+	rng := rand.New(rand.NewSource(25))
+	type problem struct {
+		a, b, want *mat.F32
+		m, n, k    int
+	}
+	problems := make([]problem, 6)
+	for i := range problems {
+		m := 32 + 16*i
+		k := 48 + 8*i
+		n := 96 - 8*i
+		a := randF32(m, k, rng)
+		b := randF32(k, n, rng)
+		want := mat.NewF32(m, n)
+		NaiveSGEMM(false, false, 1, a, b, 0, want)
+		problems[i] = problem{a: a, b: b, want: want, m: m, n: n, k: k}
+	}
+	goroutines := 8
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				p := problems[(g+it)%len(problems)]
+				threads := 1 + (g+it)%4
+				c := mat.NewF32(p.m, p.n)
+				if err := SGEMM(false, false, 1, p.a, p.b, 0, c, threads); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				if d := c.MaxAbsDiff(p.want); d > tolF32(p.k) {
+					select {
+					case errs <- fmt.Errorf("goroutine %d iter %d: diff %v", g, it, d):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	runtime.GC() // exercise the context-cleanup path under race too
+}

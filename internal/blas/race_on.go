@@ -1,0 +1,7 @@
+//go:build race
+
+package blas
+
+// raceEnabled reports whether the race detector is active; the allocation-
+// count tests skip under it because instrumentation perturbs alloc counts.
+const raceEnabled = true

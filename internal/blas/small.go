@@ -1,0 +1,78 @@
+package blas
+
+// Small-shape fast path: below a FLOP threshold the packed algorithm's
+// panel copies, buffer setup and phase barriers dominate the useful work,
+// so tiny GEMMs run a single-threaded blocked loop directly on the operand
+// views instead. The loop order is chosen per transB so the innermost loop
+// always streams a contiguous row of B (or of C), which is what the packed
+// layout would have bought anyway at these sizes.
+
+// smallShapeLimit bounds m·n·k for the no-packing path (tuned on the
+// development machine: the crossover sits between 32³ and 48³; see
+// BenchmarkSGEMMTiny). A variable rather than a constant so the test matrix
+// can force either path.
+var smallShapeLimit = 40 * 40 * 40
+
+// smallShape reports whether an m×n×k problem should skip packing. It must
+// depend only on the dimensions — never on the thread count — so that
+// results stay bit-identical across thread counts.
+func smallShape(m, n, k int) bool {
+	return m*n*k <= smallShapeLimit
+}
+
+// smallGemm computes C ← alpha·op(A)·op(B) + beta·C without packing.
+// Callers have already handled the degenerate m/n/k = 0 and alpha = 0 cases.
+func smallGemm[T float32 | float64](transA, transB bool, alpha T, a, b view[T], beta T, c view[T], m, n, k int) {
+	if !transB {
+		// AXPY form: C(i, :) accumulates alpha·op(A)(i, p) · B(p, :), with
+		// the inner loop contiguous over both B's row and C's row.
+		for i := 0; i < m; i++ {
+			crow := c.data[i*c.stride : i*c.stride+n]
+			if beta == 0 {
+				for j := range crow {
+					crow[j] = 0
+				}
+			} else if beta != 1 {
+				for j := range crow {
+					crow[j] *= beta
+				}
+			}
+			for p := 0; p < k; p++ {
+				var aip T
+				if transA {
+					aip = alpha * a.data[p*a.stride+i]
+				} else {
+					aip = alpha * a.data[i*a.stride+p]
+				}
+				brow := b.data[p*b.stride : p*b.stride+n]
+				for j, bv := range brow {
+					crow[j] += aip * bv
+				}
+			}
+		}
+		return
+	}
+	// Dot form: op(B)(p, j) = B(j, p), so B's row j is contiguous over p.
+	for i := 0; i < m; i++ {
+		crow := c.data[i*c.stride : i*c.stride+n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*b.stride : j*b.stride+k]
+			var sum T
+			if transA {
+				for p, bv := range brow {
+					sum += a.data[p*a.stride+i] * bv
+				}
+			} else {
+				arow := a.data[i*a.stride : i*a.stride+k]
+				for p, av := range arow {
+					sum += av * brow[p]
+				}
+			}
+			if beta == 0 {
+				crow[j] = alpha * sum
+			} else {
+				crow[j] = alpha*sum + beta*crow[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// team is a persistent group of parked worker goroutines. Workers are
+// spawned once (per Context, not per GEMM call and certainly not per
+// blocking iteration) and woken through pre-allocated channels, so
+// dispatching a parallel region costs one channel send per worker instead
+// of a goroutine spawn — the "fork" half of the paper's fork/join overhead
+// drops to a wakeup.
+//
+// The worker goroutines reference only the inner teamState, never the team
+// or its owning Context. That keeps the owner collectible: a GC cleanup on
+// the Context closes quit and the parked workers exit, so Contexts dropped
+// from a sync.Pool do not leak goroutines.
+type team struct {
+	st   *teamState
+	size int // worker goroutine count (excludes the calling goroutine)
+}
+
+type teamState struct {
+	wake []chan struct{}
+	quit chan struct{}
+	stop sync.Once
+	job  func(w int)
+	wg   sync.WaitGroup
+}
+
+func newTeam(workers int) *team {
+	st := &teamState{
+		wake: make([]chan struct{}, workers),
+		quit: make(chan struct{}),
+	}
+	for i := range st.wake {
+		st.wake[i] = make(chan struct{}, 1)
+		go teamWorker(st, i)
+	}
+	return &team{st: st, size: workers}
+}
+
+func teamWorker(st *teamState, id int) {
+	for {
+		select {
+		case <-st.wake[id]:
+			st.job(id + 1)
+			st.wg.Done()
+		case <-st.quit:
+			return
+		}
+	}
+}
+
+// run executes job(w) for w in [0, parts), with the caller as part 0 and one
+// parked worker per remaining part, and returns when all parts finish. The
+// job is published before the wakeup sends and the WaitGroup closes the
+// round, so run allocates nothing. parts-1 must not exceed the team size.
+func (t *team) run(parts int, job func(w int)) {
+	if parts <= 1 {
+		job(0)
+		return
+	}
+	st := t.st
+	st.job = job
+	st.wg.Add(parts - 1)
+	for i := 0; i < parts-1; i++ {
+		st.wake[i] <- struct{}{}
+	}
+	job(0)
+	st.wg.Wait()
+	// Drop the closure reference: the job closes over the owning Context,
+	// and the parked workers keep st alive, so a retained job would keep a
+	// pool-evicted Context reachable and block its GC cleanup (leaking the
+	// workers themselves).
+	st.job = nil
+}
+
+// close releases the team's workers. Idempotent; must not race with run
+// (owners only stop teams between calls).
+func (st *teamState) close() {
+	st.stop.Do(func() { close(st.quit) })
+}
+
+// barrier is a centralised sense-reversing spin barrier. GEMM phases are
+// compute-bound and short, so spinning with Gosched beats parking on a
+// channel: no allocation, no scheduler round-trip in the common case where
+// all workers arrive within a timeslice.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint32
+}
+
+// reset prepares the barrier for a round of waits by n participants. Must
+// not be called while a wait is in flight.
+func (b *barrier) reset(n int) {
+	b.n = int32(n)
+	b.count.Store(0)
+	b.gen.Store(0)
+}
+
+// wait blocks until all n participants arrive. The last arriver reopens the
+// barrier for the next phase before advancing the generation, so back-to-back
+// waits are safe.
+func (b *barrier) wait() {
+	if b.n <= 1 {
+		return
+	}
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == g {
+		runtime.Gosched()
+	}
+}

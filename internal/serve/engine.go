@@ -104,41 +104,77 @@ func (e *Engine) Rank(m, k, n int) (scores []float64, best int) {
 }
 
 // PredictBatch ranks every shape and writes the chosen thread counts into
-// out (allocated when nil or too short). Shapes repeated within the batch
-// or across calls are served from the cache; distinct misses are ranked in
-// parallel across the engine's worker pool.
+// out (allocated when nil or too short). Identical shapes within the batch
+// are deduplicated before ranking, so a batch of N repeated cache misses
+// costs one model evaluation, not N; distinct shapes already cached are
+// served from the cache, and the remaining distinct misses are ranked in
+// parallel across the engine's worker pool. Duplicates resolved from the
+// batch-local memoisation are counted as predictions and cache hits, so the
+// Stats counters keep per-request semantics. Batches of n shapes use O(n)
+// dedup scratch; the no-allocation guarantee applies to the per-shape
+// ranking path, not the batch bookkeeping.
 func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
 	if len(out) < len(shapes) {
 		out = make([]int, len(shapes))
 	}
 	out = out[:len(shapes)]
-	workers := e.workers
-	if workers > len(shapes) {
-		workers = len(shapes)
-	}
-	if workers <= 1 {
-		for i, sh := range shapes {
-			out[i] = e.Predict(sh.M, sh.K, sh.N)
-		}
+	if len(shapes) == 0 {
 		return out
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(shapes) {
-					return
-				}
-				sh := shapes[i]
-				out[i] = e.Predict(sh.M, sh.K, sh.N)
-			}
-		}()
+	if len(shapes) == 1 {
+		out[0] = e.Predict(shapes[0].M, shapes[0].K, shapes[0].N)
+		return out
 	}
-	wg.Wait()
+
+	// Dedup pass: slot[i] points each request at its distinct shape.
+	index := make(map[sampling.Shape]int, len(shapes))
+	slot := make([]int, len(shapes))
+	uniq := shapes[:0:0]
+	for i, sh := range shapes {
+		u, ok := index[sh]
+		if !ok {
+			u = len(uniq)
+			index[sh] = u
+			uniq = append(uniq, sh)
+		}
+		slot[i] = u
+	}
+	if dups := len(shapes) - len(uniq); dups > 0 {
+		e.predictions.Add(int64(dups))
+		e.cache.hits.Add(int64(dups))
+	}
+
+	vals := make([]int, len(uniq))
+	workers := e.workers
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	if workers <= 1 {
+		for u, sh := range uniq {
+			vals[u] = e.Predict(sh.M, sh.K, sh.N)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					u := int(next.Add(1)) - 1
+					if u >= len(uniq) {
+						return
+					}
+					sh := uniq[u]
+					vals[u] = e.Predict(sh.M, sh.K, sh.N)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, u := range slot {
+		out[i] = vals[u]
+	}
 	return out
 }
 

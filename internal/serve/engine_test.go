@@ -136,6 +136,49 @@ func TestEngineBatchWorkers(t *testing.T) {
 	}
 }
 
+// TestEngineBatchDedup verifies that identical shapes within one batch are
+// ranked once: a batch of N copies of a cold shape performs exactly one
+// model evaluation, and every copy receives the same (correct) decision.
+func TestEngineBatchDedup(t *testing.T) {
+	l := lib(t)
+	base := mixedShapes(4)
+	batch := make([]sampling.Shape, 0, 40)
+	for i := 0; i < 10; i++ {
+		batch = append(batch, base...)
+	}
+	for _, workers := range []int{1, 8} {
+		eng := NewEngine(l, Options{Workers: workers})
+		out := eng.PredictBatch(batch, nil)
+		for i, sh := range batch {
+			if want := l.OptimalThreads(sh.M, sh.K, sh.N); out[i] != want {
+				t.Fatalf("workers=%d shape %v: got %d, want %d", workers, sh, out[i], want)
+			}
+		}
+		st := eng.Stats()
+		if st.CacheMisses != int64(len(base)) {
+			t.Errorf("workers=%d: %d cache misses for %d distinct shapes (dedup not applied)",
+				workers, st.CacheMisses, len(base))
+		}
+		// Counters keep per-request semantics: every served decision counts
+		// as a prediction, and batch-local duplicates count as hits.
+		if st.Predictions != int64(len(batch)) {
+			t.Errorf("workers=%d: predictions = %d, want %d", workers, st.Predictions, len(batch))
+		}
+		if want := int64(len(batch) - len(base)); st.CacheHits != want {
+			t.Errorf("workers=%d: cache hits = %d, want %d", workers, st.CacheHits, want)
+		}
+	}
+	// Order must be preserved when duplicates are interleaved.
+	interleaved := []sampling.Shape{base[0], base[1], base[0], base[2], base[1], base[0]}
+	eng := NewEngine(l, Options{Workers: 1})
+	out := eng.PredictBatch(interleaved, nil)
+	for i, sh := range interleaved {
+		if want := l.OptimalThreads(sh.M, sh.K, sh.N); out[i] != want {
+			t.Fatalf("interleaved %d (%v): got %d, want %d", i, sh, out[i], want)
+		}
+	}
+}
+
 func TestEngineWarmup(t *testing.T) {
 	l := lib(t)
 	eng := NewEngine(l, Options{CacheSize: 512})
