@@ -228,6 +228,15 @@ type (
 	Server = serve.Server
 	// ServeClient is the Go client for the adsala-serve HTTP API.
 	ServeClient = serve.Client
+	// Op identifies the BLAS-3 operation a decision applies to (GEMM or
+	// SYRK); it keys the serving cache.
+	Op = serve.Op
+)
+
+// Operation kinds accepted by the op-aware engine, server and client APIs.
+const (
+	OpGEMM = serve.OpGEMM
+	OpSYRK = serve.OpSYRK
 )
 
 // Engine returns a concurrent prediction engine bound to this library: a

@@ -102,8 +102,13 @@ func TestGemmCacheAndClamp(t *testing.T) {
 	lib, _ := trainQuick(t)
 	g := lib.NewGemm()
 	g.SetMaxLocalThreads(2)
-	if got := g.LastChoice(4096, 4096, 4096); got > 2 {
-		t.Errorf("clamp failed: %d", got)
+	// LastChoice is a read-only peek: before any call the shape is uncached
+	// and it must report 0 without running a prediction or moving counters.
+	if got := g.LastChoice(16, 16, 16); got != 0 {
+		t.Errorf("LastChoice before any call = %d, want 0", got)
+	}
+	if hits, misses := g.CacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("LastChoice moved counters: hits=%d misses=%d", hits, misses)
 	}
 	rng := rand.New(rand.NewSource(2))
 	a := NewMatrixF32(16, 16)
@@ -119,6 +124,60 @@ func TestGemmCacheAndClamp(t *testing.T) {
 	hits, misses := g.CacheStats()
 	if hits < 4 {
 		t.Errorf("cache hits = %d after 5 repeated shapes (misses %d)", hits, misses)
+	}
+	// Now cached: LastChoice reports the clamped selection, still without
+	// counting.
+	if got := g.LastChoice(16, 16, 16); got < 1 || got > 2 {
+		t.Errorf("LastChoice after calls = %d, want in [1,2]", got)
+	}
+	if h2, m2 := g.CacheStats(); h2 != hits || m2 != misses {
+		t.Errorf("LastChoice moved counters: (%d,%d) -> (%d,%d)", hits, misses, h2, m2)
+	}
+}
+
+func TestSyrkFacade(t *testing.T) {
+	lib, _ := trainQuick(t)
+	s := lib.NewSyrk()
+	s.SetMaxLocalThreads(2)
+	rng := rand.New(rand.NewSource(3))
+	a := NewMatrixF32(24, 9)
+	c := NewMatrixF32(24, 24)
+	a.FillRandom(rng)
+	if err := s.SSYRK(false, 1, a, 0, c); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check one entry against a direct dot product and symmetry.
+	var want float32
+	for p := 0; p < 9; p++ {
+		want += a.At(5, p) * a.At(2, p)
+	}
+	if d := c.At(5, 2) - want; d > 1e-4 || d < -1e-4 {
+		t.Errorf("C[5,2] = %v, want %v", c.At(5, 2), want)
+	}
+	if c.At(2, 5) != c.At(5, 2) {
+		t.Error("result not symmetric")
+	}
+	if got := s.LastChoice(24, 9); got < 1 || got > 2 {
+		t.Errorf("LastChoice = %d, want clamped selection in [1,2]", got)
+	}
+	// Transposed double-precision path.
+	ad := NewMatrixF64(7, 13)
+	cd := NewMatrixF64(13, 13)
+	ad.FillRandom(rng)
+	if err := s.DSYRK(true, 2, ad, 0, cd); err != nil {
+		t.Fatal(err)
+	}
+	if cd.At(3, 8) != cd.At(8, 3) {
+		t.Error("DSYRK result not symmetric")
+	}
+	// Repeated shapes hit the cache.
+	for i := 0; i < 4; i++ {
+		if err := s.SSYRK(false, 1, a, 0, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, _ := s.CacheStats(); hits < 4 {
+		t.Errorf("cache hits = %d after repeated SYRKs", hits)
 	}
 }
 

@@ -8,6 +8,8 @@
 //	adsala-bench -exp all -scale default
 //	adsala-bench -gemm-json BENCH_gemm.json
 //	adsala-bench -gemm-json - -gemm-smoke
+//	adsala-bench -syrk-json BENCH_syrk.json
+//	adsala-bench -syrk-json - -syrk-smoke
 package main
 
 import (
@@ -28,11 +30,19 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		gemmJSON  = flag.String("gemm-json", "", "measure the GEMM kernel and write a JSON report to this file (\"-\" for stdout), then exit")
 		gemmSmoke = flag.Bool("gemm-smoke", false, "with -gemm-json: run each case once without timing (CI regression guard)")
+		syrkJSON  = flag.String("syrk-json", "", "measure the SYRK kernel and write a JSON report to this file (\"-\" for stdout), then exit")
+		syrkSmoke = flag.Bool("syrk-smoke", false, "with -syrk-json: run each case once without timing (CI regression guard)")
 	)
 	flag.Parse()
 
 	if *gemmJSON != "" {
 		if err := runGemmBench(*gemmJSON, *gemmSmoke); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *syrkJSON != "" {
+		if err := runSyrkBench(*syrkJSON, *syrkSmoke); err != nil {
 			log.Fatal(err)
 		}
 		return

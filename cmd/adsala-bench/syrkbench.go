@@ -1,0 +1,145 @@
+package main
+
+// The SYRK trajectory harness: -syrk-json measures the packed SYRK kernel
+// (GFLOPS and allocations per shape × thread count) with testing.Benchmark
+// and writes a machine-readable report alongside the GEMM trajectory. The
+// single-thread cases also time the naive per-element reference, so the
+// report carries the speedup the ISSUE-3 acceptance criterion gates on
+// (packed ≥ 3× naive at n=k=256). CI runs a 1-iteration smoke of the same
+// harness; committed BENCH_syrk.json files record the trajectory per
+// development machine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+// syrkBenchCase is one measured configuration.
+type syrkBenchCase struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	K       int    `json:"k"`
+	Threads int    `json:"threads"`
+}
+
+// syrkBenchEntry is one row of the report. SYRK FLOPs are n(n+1)k.
+type syrkBenchEntry struct {
+	syrkBenchCase
+	NsPerOp     float64 `json:"ns_per_op"`
+	GFLOPS      float64 `json:"gflops"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// NaiveNsPerOp and SpeedupVsNaive compare against the per-element
+	// reference; measured only for the single-thread cases.
+	NaiveNsPerOp   float64 `json:"naive_ns_per_op,omitempty"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
+}
+
+// syrkBenchReport is the file layout of BENCH_syrk.json.
+type syrkBenchReport struct {
+	Schema      string           `json:"schema"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	Note        string           `json:"note"`
+	Results     []syrkBenchEntry `json:"results"`
+}
+
+// syrkBenchCases is the measured sweep: the cube sizes of the GEMM
+// trajectory at the thread counts a 1–4 core machine can express, plus a
+// wide-k panel shape and the small-path shape.
+func syrkBenchCases() []syrkBenchCase {
+	var cases []syrkBenchCase
+	for _, size := range []int{64, 128, 256, 512} {
+		for _, threads := range []int{1, 2, 4} {
+			cases = append(cases, syrkBenchCase{
+				Name: fmt.Sprintf("ssyrk-%d-t%d", size, threads),
+				N:    size, K: size, Threads: threads,
+			})
+		}
+	}
+	cases = append(cases,
+		syrkBenchCase{Name: "ssyrk-widek-t1", N: 64, K: 2048, Threads: 1},
+		syrkBenchCase{Name: "ssyrk-small-t1", N: 32, K: 32, Threads: 1},
+	)
+	return cases
+}
+
+// runSyrkBench measures every case and writes the JSON report to path.
+// smoke restricts each case to a single iteration (the CI regression guard:
+// it exercises the full harness without paying benchmark time).
+func runSyrkBench(path string, smoke bool) error {
+	report := syrkBenchReport{
+		Schema:      "adsala/bench-syrk/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Note:        "flops = n*(n+1)*k; steady-state pooled-context path; naive = serial per-element reference (pre-packed SYRK)",
+	}
+	if smoke {
+		report.Note += "; SMOKE RUN (1 iteration per case, timings not meaningful)"
+	}
+	for _, bc := range syrkBenchCases() {
+		rng := rand.New(rand.NewSource(1))
+		a := mat.NewF32(bc.N, bc.K)
+		c := mat.NewF32(bc.N, bc.N)
+		a.FillRandom(rng)
+		ctx := blas.NewContext()
+		// Warm outside the measurement so steady-state allocation is
+		// reported (buffers, team, and worker closure are created once).
+		if err := ctx.SSYRK(false, 1, a, 0, c, bc.Threads); err != nil {
+			return fmt.Errorf("syrk bench %s: %w", bc.Name, err)
+		}
+		entry := syrkBenchEntry{syrkBenchCase: bc}
+		flops := float64(bc.N) * float64(bc.N+1) * float64(bc.K)
+		if !smoke {
+			res := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					if err := ctx.SSYRK(false, 1, a, 0, c, bc.Threads); err != nil {
+						tb.Fatal(err)
+					}
+				}
+			})
+			entry.NsPerOp = float64(res.T.Nanoseconds()) / float64(res.N)
+			entry.GFLOPS = flops / entry.NsPerOp
+			entry.AllocsPerOp = res.AllocsPerOp()
+			entry.BytesPerOp = res.AllocedBytesPerOp()
+			if bc.Threads == 1 {
+				naive := testing.Benchmark(func(tb *testing.B) {
+					for i := 0; i < tb.N; i++ {
+						blas.NaiveSSYRK(false, 1, a, 0, c)
+					}
+				})
+				entry.NaiveNsPerOp = float64(naive.T.Nanoseconds()) / float64(naive.N)
+				entry.SpeedupVsNaive = entry.NaiveNsPerOp / entry.NsPerOp
+			}
+		} else {
+			blas.NaiveSSYRK(false, 1, a, 0, c) // smoke the reference too
+		}
+		ctx.Close()
+		report.Results = append(report.Results, entry)
+		fmt.Fprintf(os.Stderr, "syrk-bench %-16s %8.2f GFLOPS  %3d allocs/op  %5.2fx vs naive\n",
+			bc.Name, entry.GFLOPS, entry.AllocsPerOp, entry.SpeedupVsNaive)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

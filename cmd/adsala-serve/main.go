@@ -4,11 +4,15 @@
 //
 // Endpoints:
 //
-//	GET  /predict?m=&k=&n=   one decision (add &detail=1 for the ranking)
-//	POST /predict            {"m":..,"k":..,"n":..}
-//	POST /batch              {"shapes":[{"m":..,"k":..,"n":..},...]}
-//	GET  /stats              cache, engine and HTTP latency metrics
-//	GET  /healthz            liveness probe
+//	GET  /predict?m=&k=&n=&op=  one decision (add &detail=1 for the ranking)
+//	POST /predict               {"m":..,"k":..,"n":..,"op":"gemm"|"syrk"}
+//	POST /batch                 {"shapes":[{"m":..,"k":..,"n":..,"op":..},...]}
+//	GET  /stats                 cache, engine and HTTP latency metrics
+//	GET  /healthz               liveness probe
+//
+// The op field selects the operation the decision is for (default "gemm");
+// decisions are cached per (op, shape). SYRK queries pass the (n, k, n)
+// triple of the output shape.
 //
 // Usage:
 //

@@ -172,8 +172,13 @@ func TestDaemonRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Engine.Predictions < 19 { // 16 warm-up + predict + batch of 2
-		t.Errorf("predictions %d, want >= 19", st.Engine.Predictions)
+	// Serving counters exclude the warm-up pass, which is reported
+	// separately.
+	if st.Engine.Predictions != 3 { // predict + batch of 2
+		t.Errorf("serving predictions %d, want 3", st.Engine.Predictions)
+	}
+	if st.Engine.WarmupDecisions != 16 {
+		t.Errorf("warm-up decisions %d, want 16", st.Engine.WarmupDecisions)
 	}
 	if st.Engine.CacheLen == 0 {
 		t.Error("cache empty after warm-up")

@@ -55,17 +55,22 @@ func (g *Gemm) localClamp() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// choose returns the model-selected thread count, clamped for local
-// execution.
-func (g *Gemm) choose(m, k, n int) int {
-	threads := g.eng.Predict(m, k, n)
-	if c := g.localClamp(); threads > c {
-		threads = c
+// clampThreads bounds a model decision to [1, max] for local execution
+// (shared by the Gemm and Syrk facades).
+func clampThreads(threads, max int) int {
+	if threads > max {
+		threads = max
 	}
 	if threads < 1 {
 		threads = 1
 	}
 	return threads
+}
+
+// choose returns the model-selected thread count, clamped for local
+// execution.
+func (g *Gemm) choose(m, k, n int) int {
+	return clampThreads(g.eng.Predict(m, k, n), g.localClamp())
 }
 
 // SGEMM computes C ← alpha·op(A)·op(B) + beta·C in single precision with the
@@ -89,9 +94,19 @@ func (g *Gemm) DGEMM(transA, transB bool, alpha float64, a, b *MatrixF64, beta f
 	return blas.DGEMM(transA, transB, alpha, a, b, beta, c, g.choose(m, k, n))
 }
 
-// LastChoice reports the thread count the model selected for the given
-// dimensions (uses the same cache as the GEMM calls).
-func (g *Gemm) LastChoice(m, k, n int) int { return g.choose(m, k, n) }
+// LastChoice reports the thread count a previous GEMM call (or Predict)
+// selected for the given dimensions, clamped the same way execution was. It
+// is a read-only peek of the decision cache: no prediction runs and no
+// hit/miss counter moves, so introspection cannot distort the serving
+// statistics. Returns 0 when the shape has not been selected yet (or its
+// entry has been evicted).
+func (g *Gemm) LastChoice(m, k, n int) int {
+	threads, ok := g.eng.CachedChoice(serve.OpGEMM, m, k, n)
+	if !ok {
+		return 0
+	}
+	return clampThreads(threads, g.localClamp())
+}
 
 // CacheStats reports (hits, misses) of the repeated-shape prediction cache.
 func (g *Gemm) CacheStats() (hits, misses int64) { return g.eng.Cache().Stats() }

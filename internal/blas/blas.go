@@ -63,34 +63,32 @@ func (p Params) Validate() error {
 // allocates nothing in steady state.
 func SGEMM(transA, transB bool, alpha float32, a *mat.F32, b *mat.F32, beta float32, c *mat.F32, threads int) error {
 	ctx := ctxPool.Get().(*Context)
-	err := ctx.SGEMM(transA, transB, alpha, a, b, beta, c, threads)
-	ctxPool.Put(ctx)
-	return err
+	// Deferred so a panicking inner call (indexing bug, corrupted operand
+	// headers) does not leak the pooled context and its worker team.
+	defer ctxPool.Put(ctx)
+	return ctx.SGEMM(transA, transB, alpha, a, b, beta, c, threads)
 }
 
 // DGEMM is the double-precision counterpart of SGEMM.
 func DGEMM(transA, transB bool, alpha float64, a *mat.F64, b *mat.F64, beta float64, c *mat.F64, threads int) error {
 	ctx := ctxPool.Get().(*Context)
-	err := ctx.DGEMM(transA, transB, alpha, a, b, beta, c, threads)
-	ctxPool.Put(ctx)
-	return err
+	defer ctxPool.Put(ctx)
+	return ctx.DGEMM(transA, transB, alpha, a, b, beta, c, threads)
 }
 
 // SGEMMWithParams is SGEMM with explicit blocking parameters; it exists for
 // the blocking-parameter benchmarks and the wide micro-tile variants.
 func SGEMMWithParams(transA, transB bool, alpha float32, a *mat.F32, b *mat.F32, beta float32, c *mat.F32, threads int, p Params) error {
 	ctx := ctxPool.Get().(*Context)
-	err := ctx.SGEMMWithParams(transA, transB, alpha, a, b, beta, c, threads, p)
-	ctxPool.Put(ctx)
-	return err
+	defer ctxPool.Put(ctx)
+	return ctx.SGEMMWithParams(transA, transB, alpha, a, b, beta, c, threads, p)
 }
 
 // DGEMMWithParams is DGEMM with explicit blocking parameters.
 func DGEMMWithParams(transA, transB bool, alpha float64, a *mat.F64, b *mat.F64, beta float64, c *mat.F64, threads int, p Params) error {
 	ctx := ctxPool.Get().(*Context)
-	err := ctx.DGEMMWithParams(transA, transB, alpha, a, b, beta, c, threads, p)
-	ctxPool.Put(ctx)
-	return err
+	defer ctxPool.Put(ctx)
+	return ctx.DGEMMWithParams(transA, transB, alpha, a, b, beta, c, threads, p)
 }
 
 // view is a type-parameterised matrix header over a flat backing slice.

@@ -84,9 +84,12 @@ type ctxBufs[T float32 | float64] struct {
 	body    func(w int)
 }
 
-// callArgs carries one GEMM call's parameters to the team workers.
+// callArgs carries one GEMM or SYRK call's parameters to the team workers.
+// SYRK calls set syrk, leave b unset (B is op(A)ᵀ, read straight from a) and
+// use transA as the single op(A) transpose flag with m = n.
 type callArgs[T float32 | float64] struct {
 	transA, transB bool
+	syrk           bool
 	alpha, beta    T
 	a, b, c        view[T]
 	m, n, k        int
@@ -118,6 +121,23 @@ func (b *ctxBufs[T]) ensure(parts, aLen, bLen int) {
 		}
 		b.packedA[w] = b.packedA[w][:aLen]
 	}
+}
+
+// ensureBody returns the pre-built worker closure, creating it on first
+// parallel use. One closure serves both operations: it dispatches on the
+// published args, so dispatching a call writes a struct instead of
+// allocating a fresh closure.
+func (b *ctxBufs[T]) ensureBody(ctx *Context) func(w int) {
+	if b.body == nil {
+		b.body = func(w int) {
+			if b.args.syrk {
+				syrkWorker(ctx, b, w)
+			} else {
+				gemmWorker(ctx, b, w)
+			}
+		}
+	}
+	return b.body
 }
 
 // ensureTeam returns a team with at least the given worker count, stopping
@@ -196,11 +216,7 @@ func gemmCtx[T float32 | float64](ctx *Context, transA, transB bool, alpha T, a,
 	if threads == 1 {
 		gemmWorker(ctx, bufs, 0)
 	} else {
-		if bufs.body == nil {
-			body := func(w int) { gemmWorker(ctx, bufs, w) }
-			bufs.body = body
-		}
-		ctx.ensureTeam(threads-1).run(threads, bufs.body)
+		ctx.ensureTeam(threads-1).run(threads, bufs.ensureBody(ctx))
 	}
 	// Drop the operand views: a held (or pooled) Context must not pin the
 	// caller's matrices after the call returns.

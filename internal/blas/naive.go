@@ -19,6 +19,38 @@ func NaiveDGEMM(transA, transB bool, alpha float64, a *mat.F64, b *mat.F64, beta
 	naive(transA, transB, alpha, av, bv, beta, cv)
 }
 
+// NaiveSSYRK is the unblocked per-element SYRK reference (the pre-packed
+// implementation, minus its per-call goroutine fork/join): it computes the
+// lower triangle of alpha·op(A)·op(A)ᵀ + beta·C serially and mirrors it.
+// The packed SSYRK is validated — and its speedup measured — against it.
+func NaiveSSYRK(trans bool, alpha float32, a *mat.F32, beta float32, c *mat.F32) {
+	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
+	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
+	naiveSyrk(trans, alpha, av, beta, cv)
+}
+
+// NaiveDSYRK is the double-precision SYRK reference.
+func NaiveDSYRK(trans bool, alpha float64, a *mat.F64, beta float64, c *mat.F64) {
+	av := view[float64]{a.Rows, a.Cols, a.Stride, a.Data}
+	cv := view[float64]{c.Rows, c.Cols, c.Stride, c.Data}
+	naiveSyrk(trans, alpha, av, beta, cv)
+}
+
+func naiveSyrk[T float32 | float64](trans bool, alpha T, a view[T], beta T, c view[T]) {
+	n, k := opDims(a, trans)
+	for i := 0; i < n; i++ {
+		row := c.data[i*c.stride:]
+		for j := 0; j <= i; j++ {
+			var sum T
+			for p := 0; p < k; p++ {
+				sum += opAt(a, trans, i, p) * opAt(a, trans, j, p)
+			}
+			row[j] = alpha*sum + beta*row[j]
+		}
+	}
+	mirrorLower(c, 0, n)
+}
+
 func naive[T float32 | float64](transA, transB bool, alpha T, a, b view[T], beta T, c view[T]) {
 	m, k := opDims(a, transA)
 	_, n := opDims(b, transB)

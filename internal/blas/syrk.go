@@ -2,28 +2,96 @@ package blas
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/mat"
 )
 
-// SSYRK computes the symmetric rank-k update C ← alpha·A·Aᵀ + beta·C
-// (trans=false) or C ← alpha·Aᵀ·A + beta·C (trans=true), updating only the
-// lower triangle of C and mirroring it, using the given number of worker
-// goroutines.
+// SYRK — symmetric rank-k update, C ← alpha·op(A)·op(A)ᵀ + beta·C with
+// op(A) = A (trans=false) or Aᵀ (trans=true). Only the lower triangle of C
+// is computed; the upper triangle is mirrored from it afterwards, so the
+// result is exactly symmetric and the upper-triangle content of the input C
+// is never read.
 //
 // SYRK is the first of the paper's future-work targets ("extend our
 // ML-driven runtime thread selection approach to other BLAS operations",
 // §VII): its cost profile differs from GEMM — half the FLOPs for the same C,
-// and triangular load imbalance across the thread team — so a thread-count
-// model trained on GEMM timings does not transfer directly.
+// and triangular load imbalance across the thread team — so the serving
+// layer keys its decisions per operation (see internal/serve.Op).
+//
+// The implementation is the same five-loop blocked-and-packed algorithm as
+// GEMM, specialised to the triangular output: op(A)ᵀ plays the role of B
+// (packBRange with the transpose flag flipped reads it straight out of A, no
+// extra buffer), macro-tiles that lie entirely above the diagonal are
+// skipped, diagonal-straddling tiles are masked at store time, and the MC
+// loop is partitioned by per-block tile weight so the triangular work stays
+// balanced across the persistent worker team.
+
+// SSYRK computes the single-precision symmetric rank-k update using the
+// given number of worker goroutines (threads < 1 is treated as 1). The call
+// runs on a pooled Context and allocates nothing in steady state.
 func SSYRK(trans bool, alpha float32, a *mat.F32, beta float32, c *mat.F32, threads int) error {
-	n, k := a.Rows, a.Cols
-	if trans {
-		n, k = a.Cols, a.Rows
+	ctx := ctxPool.Get().(*Context)
+	defer ctxPool.Put(ctx)
+	return ctx.SSYRK(trans, alpha, a, beta, c, threads)
+}
+
+// DSYRK is the double-precision counterpart of SSYRK.
+func DSYRK(trans bool, alpha float64, a *mat.F64, beta float64, c *mat.F64, threads int) error {
+	ctx := ctxPool.Get().(*Context)
+	defer ctxPool.Put(ctx)
+	return ctx.DSYRK(trans, alpha, a, beta, c, threads)
+}
+
+// SSYRKWithParams is SSYRK with explicit blocking parameters; it exists for
+// the edge-case test matrix and blocking ablations.
+func SSYRKWithParams(trans bool, alpha float32, a *mat.F32, beta float32, c *mat.F32, threads int, p Params) error {
+	ctx := ctxPool.Get().(*Context)
+	defer ctxPool.Put(ctx)
+	return ctx.SSYRKWithParams(trans, alpha, a, beta, c, threads, p)
+}
+
+// DSYRKWithParams is DSYRK with explicit blocking parameters.
+func DSYRKWithParams(trans bool, alpha float64, a *mat.F64, beta float64, c *mat.F64, threads int, p Params) error {
+	ctx := ctxPool.Get().(*Context)
+	defer ctxPool.Put(ctx)
+	return ctx.DSYRKWithParams(trans, alpha, a, beta, c, threads, p)
+}
+
+// SSYRK computes C ← alpha·op(A)·op(A)ᵀ + beta·C in single precision on this
+// context with the given number of threads (values < 1 mean 1).
+func (c *Context) SSYRK(trans bool, alpha float32, a *mat.F32, beta float32, cm *mat.F32, threads int) error {
+	return c.SSYRKWithParams(trans, alpha, a, beta, cm, threads, DefaultParams())
+}
+
+// DSYRK is the double-precision counterpart of SSYRK.
+func (c *Context) DSYRK(trans bool, alpha float64, a *mat.F64, beta float64, cm *mat.F64, threads int) error {
+	return c.DSYRKWithParams(trans, alpha, a, beta, cm, threads, DefaultParams())
+}
+
+// SSYRKWithParams is SSYRK with explicit blocking parameters.
+func (c *Context) SSYRKWithParams(trans bool, alpha float32, a *mat.F32, beta float32, cm *mat.F32, threads int, p Params) error {
+	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
+	cv := view[float32]{cm.Rows, cm.Cols, cm.Stride, cm.Data}
+	return syrkCtx(c, trans, alpha, av, beta, cv, threads, p)
+}
+
+// DSYRKWithParams is DSYRK with explicit blocking parameters.
+func (c *Context) DSYRKWithParams(trans bool, alpha float64, a *mat.F64, beta float64, cm *mat.F64, threads int, p Params) error {
+	av := view[float64]{a.Rows, a.Cols, a.Stride, a.Data}
+	cv := view[float64]{cm.Rows, cm.Cols, cm.Stride, cm.Data}
+	return syrkCtx(c, trans, alpha, av, beta, cv, threads, p)
+}
+
+// syrkCtx is the SYRK driver: argument checking, degenerate cases, the
+// small-shape fast path, buffer/team setup and the worker dispatch. It
+// mirrors gemmCtx with m = n and B = op(A)ᵀ.
+func syrkCtx[T float32 | float64](ctx *Context, trans bool, alpha T, a view[T], beta T, c view[T], threads int, prm Params) error {
+	if err := prm.Validate(); err != nil {
+		return err
 	}
-	if c.Rows != n || c.Cols != n {
-		return fmt.Errorf("blas: SYRK C is %dx%d, want %dx%d", c.Rows, c.Cols, n, n)
+	n, k := opDims(a, trans)
+	if c.rows != n || c.cols != n {
+		return fmt.Errorf("blas: SYRK C is %dx%d, want %dx%d", c.rows, c.cols, n, n)
 	}
 	if threads < 1 {
 		threads = 1
@@ -31,75 +99,320 @@ func SSYRK(trans bool, alpha float32, a *mat.F32, beta float32, c *mat.F32, thre
 	if n == 0 {
 		return nil
 	}
-	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
-	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
-
 	if alpha == 0 || k == 0 {
-		scaleC(cv, beta)
+		scaleLower(c, beta)
+		mirrorLower(c, 0, n)
 		return nil
 	}
 
-	// Row-band parallelisation over the lower triangle: band b owns rows
-	// [lo, hi). Bands are sized so each carries a similar number of lower-
-	// triangle elements (rows near the bottom are longer), which keeps the
-	// triangular load balanced.
-	if threads > n {
-		threads = n
+	// Small shapes skip packing entirely, as in GEMM. The threshold depends
+	// only on the dimensions, so results stay bit-identical across thread
+	// counts.
+	if prm == DefaultParams() && smallShape(n, n, k) {
+		smallSyrk(trans, alpha, a, beta, c, n, k)
+		mirrorLower(c, 0, n)
+		return nil
 	}
-	bounds := triangularBands(n, threads)
-	var wg sync.WaitGroup
-	for b := 0; b < threads; b++ {
-		lo, hi := bounds[b], bounds[b+1]
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				row := cv.data[i*cv.stride:]
-				for j := 0; j <= i; j++ {
-					var sum float32
-					if trans {
-						for p := 0; p < k; p++ {
-							sum += av.at(p, i) * av.at(p, j)
-						}
-					} else {
-						for p := 0; p < k; p++ {
-							sum += av.at(i, p) * av.at(j, p)
-						}
-					}
-					row[j] = alpha*sum + beta*row[j]
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 
-	// Mirror the lower triangle into the upper.
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			cv.data[i*cv.stride+j] = cv.data[j*cv.stride+i]
-		}
+	if threads > n/prm.MR+1 {
+		threads = n/prm.MR + 1
 	}
+
+	kcEff := min(prm.KC, k)
+	ncEff := min(prm.NC, (n+prm.NR-1)/prm.NR*prm.NR)
+	mcEff := min(prm.MC, (n+prm.MR-1)/prm.MR*prm.MR)
+	bufs := bufsFor[T](ctx)
+	bufs.ensure(threads, mcEff*kcEff, kcEff*ncEff)
+	bufs.args = callArgs[T]{
+		transA: trans,
+		alpha:  alpha, beta: beta,
+		a: a, c: c,
+		m: n, n: n, k: k,
+		parts: threads,
+		prm:   prm,
+		syrk:  true,
+	}
+	ctx.bar.reset(threads)
+	if threads == 1 {
+		syrkWorker(ctx, bufs, 0)
+	} else {
+		ctx.ensureTeam(threads-1).run(threads, bufs.ensureBody(ctx))
+	}
+	bufs.args = callArgs[T]{}
 	return nil
 }
 
-// triangularBands returns threads+1 row boundaries splitting the lower
-// triangle of an n×n matrix into bands of roughly equal element count.
-func triangularBands(n, threads int) []int {
-	total := float64(n) * float64(n+1) / 2
-	bounds := make([]int, threads+1)
-	bounds[threads] = n
-	row := 0
-	var acc float64
-	for b := 1; b < threads; b++ {
-		target := total * float64(b) / float64(threads)
-		for row < n && acc < target {
-			row++
-			acc += float64(row)
+// syrkWorker is the per-part body of the blocked SYRK. The loop structure is
+// the GEMM five-loop with B = op(A)ᵀ: within each (jc, pc) blocking
+// iteration the shared op(A)ᵀ panel is packed cooperatively (phase 1), a
+// barrier publishes it, each part then packs and multiplies its own
+// triangular-weighted share of the MC blocks that reach the lower triangle
+// (phase 2), and a second barrier closes the iteration. Block ownership
+// depends only on (w, parts) and per-element summation order only on the
+// blocking loops, so the result is bit-identical for every parts value.
+// After the last barrier the lower triangle is complete and each part
+// mirrors its own row band into the upper triangle.
+func syrkWorker[T float32 | float64](ctx *Context, bufs *ctxBufs[T], w int) {
+	ar := &bufs.args
+	prm := ar.prm
+	parts := ar.parts
+	n, k := ar.n, ar.k
+	for jc := 0; jc < n; jc += prm.NC {
+		nc := min(prm.NC, n-jc)
+		nPanels := (nc + prm.NR - 1) / prm.NR
+		for pc := 0; pc < k; pc += prm.KC {
+			kc := min(prm.KC, k-pc)
+			first := pc == 0
+
+			// op(B)(p, j) = op(A)(j, p): flipping the transpose flag makes
+			// packBRange read op(A)ᵀ panels straight out of A.
+			lo := nPanels * w / parts
+			hi := nPanels * (w + 1) / parts
+			packBRange(ar.a, !ar.transA, pc, jc, kc, nc, lo, hi, bufs.packedB, prm.NR)
+			ctx.bar.wait()
+
+			blo, bhi := syrkBlockRange(n, jc, nc, prm, w, parts)
+			for blk := blo; blk < bhi; blk++ {
+				ic := blk * prm.MC
+				mc := min(prm.MC, n-ic)
+				// Columns jc..jc+ncb-1 reach the lower triangle of this
+				// block (j ≤ i with i ≤ ic+mc-1); blocks entirely above the
+				// diagonal are skipped before paying the A-packing copy.
+				ncb := min(nc, ic+mc-jc)
+				if ncb <= 0 {
+					continue
+				}
+				packA(ar.a, ar.transA, ic, pc, mc, kc, bufs.packedA[w], prm.MR)
+				syrkMacroKernel(ar.alpha, bufs.packedA[w], bufs.packedB, ar.beta, ar.c, ic, jc, mc, ncb, kc, first, prm)
+			}
+			ctx.bar.wait()
 		}
-		bounds[b] = row
 	}
-	return bounds
+	// The final barrier above published the whole lower triangle; mirror it
+	// band-parallel (writes are disjoint rows of the upper triangle, reads
+	// are the now read-only lower triangle).
+	lo, hi := mirrorRange(n, w, parts)
+	mirrorLower(ar.c, lo, hi)
+}
+
+// syrkBlockWeight estimates the phase-2 cost of MC block blk within the
+// panel at jc: the NR tiles it computes plus one tile-equivalent for the
+// A-packing copy. Zero when the block lies entirely above the diagonal.
+func syrkBlockWeight(blk, n, jc, nc int, prm Params) int {
+	ic := blk * prm.MC
+	mc := min(prm.MC, n-ic)
+	ncb := min(nc, ic+mc-jc)
+	if ncb <= 0 {
+		return 0
+	}
+	return (ncb+prm.NR-1)/prm.NR + 1
+}
+
+// syrkBlockRange returns the half-open MC-block range owned by part w in the
+// jc panel. Blocks are split by cumulative tile weight — the SYRK analogue
+// of triangularBands, applied per panel so every barrier phase is balanced
+// — and the split depends only on (n, jc, nc, prm, parts), never on timing,
+// preserving deterministic ownership.
+func syrkBlockRange(n, jc, nc int, prm Params, w, parts int) (blo, bhi int) {
+	nBlocks := (n + prm.MC - 1) / prm.MC
+	if parts <= 1 {
+		return 0, nBlocks
+	}
+	total := 0
+	for blk := 0; blk < nBlocks; blk++ {
+		total += syrkBlockWeight(blk, n, jc, nc, prm)
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	// bound(x) = first block whose weight prefix reaches x·total/parts.
+	loTarget := total * w / parts
+	hiTarget := total * (w + 1) / parts
+	acc := 0
+	blo, bhi = nBlocks, nBlocks
+	for blk := 0; blk < nBlocks; blk++ {
+		if acc >= loTarget && blo == nBlocks {
+			blo = blk
+		}
+		if acc >= hiTarget {
+			bhi = blk
+			break
+		}
+		acc += syrkBlockWeight(blk, n, jc, nc, prm)
+	}
+	if blo > bhi {
+		blo = bhi
+	}
+	return blo, bhi
+}
+
+// syrkMacroKernel multiplies the packed mc×kc A block with the packed
+// op(A)ᵀ panel, updating only the lower-triangle part of
+// C(ic:ic+mc, jc:jc+ncb). Tiles fully below the diagonal store through the
+// ordinary storeTile; diagonal-straddling tiles compute the full MR×NR tile
+// (the above-diagonal lanes are wasted FLOPs bounded by one tile per
+// diagonal row) and mask the store to j ≤ i.
+func syrkMacroKernel[T float32 | float64](alpha T, packedA, packedB []T, beta T, c view[T], ic, jc, mc, ncb, kc int, first bool, prm Params) {
+	mr, nr := prm.MR, prm.NR
+	var acc [maxTile]T
+	for i0 := 0; i0 < mc; i0 += mr {
+		ib := min(mr, mc-i0)
+		// Tiles with j0 ≥ jLim have no element with j ≤ i for any row of
+		// this MR band.
+		jLim := min(ncb, ic+i0+ib-jc)
+		if jLim <= 0 {
+			continue
+		}
+		aPanel := packedA[(i0/mr)*kc*mr:]
+		for j0 := 0; j0 < jLim; j0 += nr {
+			jb := min(nr, jLim-j0)
+			bPanel := packedB[(j0/nr)*kc*nr:]
+			switch {
+			case mr == 4 && nr == 4:
+				micro4x4(aPanel, bPanel, kc, &acc)
+			case mr == 8 && nr == 4:
+				micro8x4(aPanel, bPanel, kc, &acc)
+			default: // 4x8, enforced by Validate
+				micro4x8(aPanel, bPanel, kc, &acc)
+			}
+			ci, cj := ic+i0, jc+j0
+			if cj+jb-1 <= ci {
+				storeTile(alpha, beta, first, &acc, c, ci, cj, ib, jb, nr)
+			} else {
+				storeTileLower(alpha, beta, first, &acc, c, ci, cj, ib, jb, nr)
+			}
+		}
+	}
+}
+
+// storeTileLower is storeTile masked to the lower triangle: row ci+i keeps
+// only columns cj+j with j ≤ i.
+func storeTileLower[T float32 | float64](alpha, beta T, first bool, acc *[maxTile]T, c view[T], ci, cj, ib, jb, nr int) {
+	for i := 0; i < ib; i++ {
+		jbRow := ci + i - cj + 1
+		if jbRow > jb {
+			jbRow = jb
+		}
+		if jbRow <= 0 {
+			continue
+		}
+		row := c.data[(ci+i)*c.stride+cj : (ci+i)*c.stride+cj+jbRow]
+		av := acc[i*nr : i*nr+jbRow]
+		switch {
+		case !first:
+			if alpha == 1 {
+				for j, v := range av {
+					row[j] += v
+				}
+			} else {
+				for j, v := range av {
+					row[j] += alpha * v
+				}
+			}
+		case beta == 0:
+			if alpha == 1 {
+				copy(row, av)
+			} else {
+				for j, v := range av {
+					row[j] = alpha * v
+				}
+			}
+		default:
+			for j, v := range av {
+				row[j] = beta*row[j] + alpha*v
+			}
+		}
+	}
+}
+
+// smallSyrk computes the lower triangle of alpha·op(A)·op(A)ᵀ + beta·C
+// without packing. Callers handle the degenerate n/k = 0 and alpha = 0
+// cases and the mirror pass.
+func smallSyrk[T float32 | float64](trans bool, alpha T, a view[T], beta T, c view[T], n, k int) {
+	for i := 0; i < n; i++ {
+		row := c.data[i*c.stride : i*c.stride+i+1]
+		if !trans {
+			// op(A) = A: rows i and j of A are contiguous dot operands.
+			ai := a.data[i*a.stride : i*a.stride+k]
+			for j := 0; j <= i; j++ {
+				aj := a.data[j*a.stride : j*a.stride+k]
+				var sum T
+				for p, av := range ai {
+					sum += av * aj[p]
+				}
+				if beta == 0 {
+					row[j] = alpha * sum
+				} else {
+					row[j] = alpha*sum + beta*row[j]
+				}
+			}
+			continue
+		}
+		// op(A) = Aᵀ: columns i and j of A, strided reads.
+		for j := 0; j <= i; j++ {
+			var sum T
+			for p := 0; p < k; p++ {
+				sum += a.data[p*a.stride+i] * a.data[p*a.stride+j]
+			}
+			if beta == 0 {
+				row[j] = alpha * sum
+			} else {
+				row[j] = alpha*sum + beta*row[j]
+			}
+		}
+	}
+}
+
+// scaleLower applies C ← beta·C to the lower triangle only.
+func scaleLower[T float32 | float64](c view[T], beta T) {
+	for i := 0; i < c.rows; i++ {
+		row := c.data[i*c.stride : i*c.stride+i+1]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}
+
+// mirrorLower copies the lower triangle into the upper for rows [lo, hi):
+// C(i, j) ← C(j, i) for j > i. Writes land in disjoint upper-triangle rows
+// and reads only the lower triangle, so disjoint bands run in parallel.
+func mirrorLower[T float32 | float64](c view[T], lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := c.data[i*c.stride : i*c.stride+c.cols]
+		for j := i + 1; j < c.cols; j++ {
+			row[j] = c.data[j*c.stride+i]
+		}
+	}
+}
+
+// mirrorRange returns the mirror-pass row band of part w: row i carries
+// n-1-i copies, so bands are sized by that reversed-triangular weight (the
+// counterpart of triangularBands, computed without allocating).
+func mirrorRange(n, w, parts int) (lo, hi int) {
+	if parts <= 1 {
+		return 0, n
+	}
+	total := float64(n) * float64(n-1) / 2
+	bound := func(b int) int {
+		if b >= parts {
+			return n
+		}
+		target := total * float64(b) / float64(parts)
+		var acc float64
+		row := 0
+		for row < n && acc < target {
+			acc += float64(n - 1 - row)
+			row++
+		}
+		return row
+	}
+	return bound(w), bound(w + 1)
 }

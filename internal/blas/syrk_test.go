@@ -12,6 +12,16 @@ func syrkRef(trans bool, alpha float32, a *mat.F32, beta float32, c *mat.F32) {
 	NaiveSGEMM(trans, !trans, alpha, a, a, beta, c)
 }
 
+// symmetrise copies the lower triangle into the upper so the full-GEMM
+// reference and the lower-triangle SYRK agree on the beta update.
+func symmetrise(c *mat.F32) {
+	for i := 0; i < c.Rows; i++ {
+		for j := i + 1; j < c.Cols; j++ {
+			c.Set(i, j, c.At(j, i))
+		}
+	}
+}
+
 func TestSSYRKMatchesGEMMReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, tc := range []struct {
@@ -21,6 +31,8 @@ func TestSSYRKMatchesGEMMReference(t *testing.T) {
 	}{
 		{5, 7, false, 1}, {16, 4, false, 3}, {33, 17, false, 4},
 		{9, 12, true, 2}, {25, 25, true, 5}, {1, 1, false, 1},
+		// Large enough to take the packed path under default params.
+		{70, 40, false, 3}, {70, 40, true, 2},
 	} {
 		var a *mat.F32
 		if tc.trans {
@@ -29,13 +41,7 @@ func TestSSYRKMatchesGEMMReference(t *testing.T) {
 			a = randF32(tc.n, tc.k, rng)
 		}
 		c := randF32(tc.n, tc.n, rng)
-		// Symmetrise the input C: SYRK's beta-update only reads the lower
-		// triangle, so a symmetric C keeps the reference comparable.
-		for i := 0; i < tc.n; i++ {
-			for j := i + 1; j < tc.n; j++ {
-				c.Set(i, j, c.At(j, i))
-			}
-		}
+		symmetrise(c)
 		want := c.Clone()
 		syrkRef(tc.trans, 1.5, a, 0.5, want)
 		got := c.Clone()
@@ -56,11 +62,214 @@ func TestSSYRKMatchesGEMMReference(t *testing.T) {
 	}
 }
 
+// TestSyrkPackedMatchesNaiveMatrix is the exhaustive edge-case matrix for
+// the packed SYRK path, mirroring TestPackedMatchesNaiveMatrix: every
+// supported micro-tile × {trans} × {alpha, beta ∈ 0/1/other} × strided C ×
+// n values that leave remainders against every blocking boundary, in both
+// precisions (rotating), checked against the naive reference.
+func TestSyrkPackedMatchesNaiveMatrix(t *testing.T) {
+	forcePath(t, forcePacked)
+	rng := rand.New(rand.NewSource(30))
+	alphas := []float32{0, 1, 1.25}
+	betas := []float32{0, 1, -0.5}
+	for _, tile := range [][2]int{{4, 4}, {8, 4}, {4, 8}} {
+		mr, nr := tile[0], tile[1]
+		prm := Params{MC: 2 * mr, KC: 10, NC: 2 * nr, MR: mr, NR: nr}
+		if err := prm.Validate(); err != nil {
+			t.Fatalf("tile %dx%d params: %v", mr, nr, err)
+		}
+		// Dimensions straddling MR/NR/MC/NC boundaries: 1, tile±1, one and
+		// two full MC blocks ± 1, and a KC-boundary k set.
+		nDims := []int{1, mr - 1, mr + 1, 2*mr - 1, 2 * mr, 4*mr + 1, 17, 33}
+		kDims := []int{1, 9, 10, 11, 21}
+		combo := 0
+		for _, n := range nDims {
+			if n < 1 {
+				continue
+			}
+			for _, k := range kDims {
+				trans := combo&1 != 0
+				threads := 1 + combo%4
+				extra := (combo % 3) * 3 // 0, 3, 6 stride padding
+				alpha := alphas[combo%len(alphas)]
+				beta := betas[(combo/2)%len(betas)]
+				combo++
+
+				ar, ac := n, k
+				if trans {
+					ar, ac = k, n
+				}
+				a := stridedF32(ar, ac, extra, rng)
+				c := stridedF32(n, n, extra, rng)
+				symmetrise(c)
+				want := c.Clone()
+				NaiveSSYRK(trans, alpha, a, beta, want)
+				if err := SSYRKWithParams(trans, alpha, a, beta, c, threads, prm); err != nil {
+					t.Fatalf("tile %dx%d n=%d k=%d trans=%v: %v", mr, nr, n, k, trans, err)
+				}
+				if d := c.Clone().MaxAbsDiff(want); d > tolF32(k) {
+					t.Errorf("tile %dx%d n=%d k=%d trans=%v threads=%d alpha=%v beta=%v: max diff %v",
+						mr, nr, n, k, trans, threads, alpha, beta, d)
+				}
+				checkPaddingF32(t, c, "syrk C")
+			}
+		}
+	}
+}
+
+// TestDSYRKMatchesNaiveMatrix runs the double-precision path (packed and
+// small) over the same trans × alpha/beta × stride axes.
+func TestDSYRKMatchesNaiveMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, limit := range []int{forcePacked, forceSmall} {
+		forcePath(t, limit)
+		combo := 0
+		for _, n := range []int{1, 3, 7, 16, 33} {
+			for _, k := range []int{1, 5, 12} {
+				trans := combo&1 != 0
+				threads := 1 + combo%3
+				extra := (combo % 2) * 3
+				beta := 0.75
+				if combo%4 == 0 {
+					beta = 0
+				}
+				combo++
+
+				ar, ac := n, k
+				if trans {
+					ar, ac = k, n
+				}
+				a := stridedF64(ar, ac, extra, rng)
+				c := stridedF64(n, n, extra, rng)
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						c.Set(i, j, c.At(j, i))
+					}
+				}
+				want := c.Clone()
+				NaiveDSYRK(trans, -1.5, a, beta, want)
+				if err := DSYRK(trans, -1.5, a, beta, c, threads); err != nil {
+					t.Fatalf("n=%d k=%d trans=%v: %v", n, k, trans, err)
+				}
+				if d := c.Clone().MaxAbsDiff(want); d > tolF64(k) {
+					t.Errorf("limit=%d n=%d k=%d trans=%v: max diff %v", limit, n, k, trans, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSyrkThreadDeterminism pins the bit-exactness guarantee on the packed
+// SYRK path: block ownership and the mirror band split affect only which
+// worker computes an element, never its summation order, so any thread
+// count must reproduce the serial result exactly.
+func TestSyrkThreadDeterminism(t *testing.T) {
+	forcePath(t, forcePacked)
+	rng := rand.New(rand.NewSource(32))
+	for _, sh := range [][2]int{{97, 53}, {129, 256}, {64, 300}} {
+		n, k := sh[0], sh[1]
+		a := randF32(n, k, rng)
+		ref := mat.NewF32(n, n)
+		if err := SSYRK(false, 1, a, 0, ref, 1); err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{2, 3, 5, 8} {
+			c := mat.NewF32(n, n)
+			if err := SSYRK(false, 1, a, 0, c, threads); err != nil {
+				t.Fatal(err)
+			}
+			if d := c.MaxAbsDiff(ref); d != 0 {
+				t.Errorf("n=%d k=%d threads=%d: differs from serial by %v (want bit-identical)", n, k, threads, d)
+			}
+		}
+	}
+}
+
+// TestSyrkZeroAllocSteadyState enforces the zero-allocation guarantee of the
+// SYRK Context path and the pooled package path once warm.
+func TestSyrkZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are perturbed by the race detector")
+	}
+	rng := rand.New(rand.NewSource(33))
+	a := randF32(128, 96, rng)
+	c := mat.NewF32(128, 128)
+	for _, tc := range []struct {
+		name    string
+		threads int
+	}{{"serial", 1}, {"team2", 2}, {"team4", 4}} {
+		ctx := NewContext()
+		for i := 0; i < 2; i++ { // warm: buffers, team, worker closure
+			if err := ctx.SSYRK(false, 1, a, 0, c, tc.threads); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := ctx.SSYRK(false, 1, a, 0, c, tc.threads); err != nil {
+				t.Fatal(err)
+			}
+		})
+		ctx.Close()
+		if allocs != 0 {
+			t.Errorf("Context.SSYRK %s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+	for i := 0; i < 3; i++ { // warm the package pool
+		if err := SSYRK(false, 1, a, 0, c, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := SSYRK(false, 1, a, 0, c, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pooled blas.SSYRK: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSyrkGemmInterleavedContext drives one Context through alternating GEMM
+// and SYRK calls: the shared buffers and dispatch must not bleed state
+// between operations.
+func TestSyrkGemmInterleavedContext(t *testing.T) {
+	forcePath(t, forcePacked)
+	rng := rand.New(rand.NewSource(34))
+	ctx := NewContext()
+	defer ctx.Close()
+	for round := 0; round < 3; round++ {
+		n, k := 48+16*round, 33+round
+		a := randF32(n, k, rng)
+		b := randF32(k, n, rng)
+		cg := mat.NewF32(n, n)
+		wantG := mat.NewF32(n, n)
+		NaiveSGEMM(false, false, 1, a, b, 0, wantG)
+		if err := ctx.SGEMM(false, false, 1, a, b, 0, cg, 1+round); err != nil {
+			t.Fatal(err)
+		}
+		if d := cg.MaxAbsDiff(wantG); d > tolF32(k) {
+			t.Errorf("round %d gemm: diff %v", round, d)
+		}
+		cs := mat.NewF32(n, n)
+		wantS := mat.NewF32(n, n)
+		NaiveSSYRK(false, 2, a, 0, wantS)
+		if err := ctx.SSYRK(false, 2, a, 0, cs, 4-round); err != nil {
+			t.Fatal(err)
+		}
+		if d := cs.MaxAbsDiff(wantS); d > tolF32(k) {
+			t.Errorf("round %d syrk: diff %v", round, d)
+		}
+	}
+}
+
 func TestSSYRKValidation(t *testing.T) {
 	a := mat.NewF32(4, 3)
 	cBad := mat.NewF32(3, 4)
 	if err := SSYRK(false, 1, a, 0, cBad, 1); err == nil {
 		t.Error("non-square C should error")
+	}
+	if err := DSYRK(true, 1, mat.NewF64(4, 3), 0, mat.NewF64(4, 4), 1); err == nil {
+		t.Error("transposed dims mismatching C should error")
 	}
 }
 
@@ -74,6 +283,31 @@ func TestSSYRKAlphaZero(t *testing.T) {
 	if c.At(1, 1) != 2 {
 		t.Errorf("alpha=0 should scale C by beta: %v", c.At(1, 1))
 	}
+	if c.At(0, 2) != c.At(2, 0) {
+		t.Errorf("alpha=0 result not symmetric: %v vs %v", c.At(0, 2), c.At(2, 0))
+	}
+}
+
+// triangularBands returns threads+1 row boundaries splitting the lower
+// triangle of an n×n matrix into bands of roughly equal element count (row i
+// carries i+1 elements). It was the pre-packed SSYRK's partitioner; the
+// packed path splits per panel with syrkBlockRange instead, so it survives
+// only as the reference the partition tests compare intuitions against.
+func triangularBands(n, threads int) []int {
+	total := float64(n) * float64(n+1) / 2
+	bounds := make([]int, threads+1)
+	bounds[threads] = n
+	row := 0
+	var acc float64
+	for b := 1; b < threads; b++ {
+		target := total * float64(b) / float64(threads)
+		for row < n && acc < target {
+			row++
+			acc += float64(row)
+		}
+		bounds[b] = row
+	}
+	return bounds
 }
 
 func TestTriangularBands(t *testing.T) {
@@ -98,6 +332,54 @@ func TestTriangularBands(t *testing.T) {
 				if count > 2*ideal {
 					t.Errorf("band %d has %v elements, ideal %v", i, count, ideal)
 				}
+			}
+		}
+	}
+}
+
+// TestSyrkBlockRangePartition checks that the per-panel block partition is a
+// disjoint contiguous cover of all blocks for every worker count.
+func TestSyrkBlockRangePartition(t *testing.T) {
+	prm := DefaultParams()
+	for _, n := range []int{1, 100, 257, 1000} {
+		for _, parts := range []int{1, 2, 3, 7, 16} {
+			for jc := 0; jc < n; jc += prm.NC {
+				nc := min(prm.NC, n-jc)
+				nBlocks := (n + prm.MC - 1) / prm.MC
+				next := 0
+				for w := 0; w < parts; w++ {
+					blo, bhi := syrkBlockRange(n, jc, nc, prm, w, parts)
+					if blo != next {
+						t.Fatalf("n=%d parts=%d jc=%d w=%d: range starts at %d, want %d", n, parts, jc, w, blo, next)
+					}
+					if bhi < blo {
+						t.Fatalf("n=%d parts=%d jc=%d w=%d: inverted range [%d,%d)", n, parts, jc, w, blo, bhi)
+					}
+					next = bhi
+				}
+				if next != nBlocks {
+					t.Fatalf("n=%d parts=%d jc=%d: partition covers %d of %d blocks", n, parts, jc, next, nBlocks)
+				}
+			}
+		}
+	}
+}
+
+// TestMirrorRangePartition checks the mirror-band split covers every row
+// exactly once.
+func TestMirrorRangePartition(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 256} {
+		for _, parts := range []int{1, 2, 5, 9} {
+			next := 0
+			for w := 0; w < parts; w++ {
+				lo, hi := mirrorRange(n, w, parts)
+				if lo != next || hi < lo {
+					t.Fatalf("n=%d parts=%d w=%d: band [%d,%d), want start %d", n, parts, w, lo, hi, next)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d parts=%d: bands cover %d rows", n, parts, next)
 			}
 		}
 	}

@@ -36,6 +36,35 @@ func quickTrain(t *testing.T, shapes int) *TrainResult {
 	return res
 }
 
+// TestGatherLocalItersExact pins the local-platform timing budget: one
+// Gather with Iters: 3 must run exactly NumShapes × len(Candidates) × 3
+// timed GEMMs. Before RealTimer implemented MeasureMean, Gather fell back
+// to its own Iters loop around Time — which itself averaged Iters
+// repetitions — squaring the repetition count (9 GEMMs per configuration
+// for Iters: 3) and silently tripling installation time.
+func TestGatherLocalItersExact(t *testing.T) {
+	rt := simtime.NewRealTimer(3)
+	cfg := GatherConfig{
+		Timer:      rt,
+		Domain:     sampling.Domain{MaxDim: 32, MaxBytes: 1 << 20, ElemBytes: 4},
+		NumShapes:  2,
+		Candidates: []int{1, 2},
+		Iters:      3,
+		Seed:       1,
+	}
+	data, err := Gather(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 {
+		t.Fatalf("gathered %d shapes", len(data))
+	}
+	want := int64(2 * 2 * 3) // shapes × candidates × iters
+	if got := rt.GemmCalls(); got != want {
+		t.Errorf("gather ran %d timed GEMMs, want exactly %d (iters must not compound)", got, want)
+	}
+}
+
 func TestDefaultCandidates(t *testing.T) {
 	g := DefaultCandidates(96)
 	if g[len(g)-1] != 96 || g[0] != 1 {

@@ -17,15 +17,20 @@ import (
 	"sync/atomic"
 )
 
-// shapeKey identifies one GEMM configuration in the decision cache.
+// shapeKey identifies one (operation, shape) configuration in the decision
+// cache. Keying on the op keeps SYRK and GEMM decisions for the same shape
+// triple distinct (their cost profiles — and eventually their models —
+// differ).
 type shapeKey struct {
+	op      Op
 	m, k, n int
 }
 
-// hash mixes the three dimensions into a well-distributed 64-bit value
-// (splitmix64-style finalisation over a combined word).
+// hash mixes the op and the three dimensions into a well-distributed 64-bit
+// value (splitmix64-style finalisation over a combined word).
 func (s shapeKey) hash() uint64 {
 	h := uint64(s.m)*0x9e3779b97f4a7c15 ^ uint64(s.k)*0xbf58476d1ce4e5b9 ^ uint64(s.n)*0x94d049bb133111eb
+	h ^= uint64(s.op) * 0xd6e8feb86659fd93
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
@@ -218,9 +223,10 @@ func NewCache(capacity, shards int) *Cache {
 	return c
 }
 
-// Get returns the cached decision for an m×k×n GEMM.
-func (c *Cache) Get(m, k, n int) (threads int, ok bool) {
-	key := shapeKey{m, k, n}
+// Get returns the cached decision for an op over an m×k×n shape, counting a
+// hit or miss.
+func (c *Cache) Get(op Op, m, k, n int) (threads int, ok bool) {
+	key := shapeKey{op, m, k, n}
 	threads, ok = c.shards[key.hash()&c.shardMask].get(key)
 	if ok {
 		c.hits.Add(1)
@@ -230,10 +236,25 @@ func (c *Cache) Get(m, k, n int) (threads int, ok bool) {
 	return threads, ok
 }
 
-// Put records the decision for an m×k×n GEMM, evicting the least recently
-// used entry of the target shard when it is full.
-func (c *Cache) Put(m, k, n, threads int) {
-	key := shapeKey{m, k, n}
+// Peek returns the cached decision without touching the hit/miss counters or
+// the LRU order — the read-only introspection path (Gemm.LastChoice and
+// friends), which must not distort serving statistics or retention.
+func (c *Cache) Peek(op Op, m, k, n int) (threads int, ok bool) {
+	key := shapeKey{op, m, k, n}
+	s := c.shards[key.hash()&c.shardMask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.slots[key]
+	if !ok {
+		return 0, false
+	}
+	return s.entries[i].threads, true
+}
+
+// Put records the decision for an op over an m×k×n shape, evicting the least
+// recently used entry of the target shard when it is full.
+func (c *Cache) Put(op Op, m, k, n, threads int) {
+	key := shapeKey{op, m, k, n}
 	c.shards[key.hash()&c.shardMask].put(key, threads)
 }
 

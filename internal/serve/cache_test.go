@@ -29,24 +29,24 @@ func TestCacheSizing(t *testing.T) {
 
 func TestCacheGetPut(t *testing.T) {
 	c := NewCache(64, 4)
-	if _, ok := c.Get(1, 2, 3); ok {
+	if _, ok := c.Get(OpGEMM, 1, 2, 3); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put(1, 2, 3, 8)
-	if th, ok := c.Get(1, 2, 3); !ok || th != 8 {
+	c.Put(OpGEMM, 1, 2, 3, 8)
+	if th, ok := c.Get(OpGEMM, 1, 2, 3); !ok || th != 8 {
 		t.Fatalf("got (%d,%v), want (8,true)", th, ok)
 	}
 	// Overwrite in place.
-	c.Put(1, 2, 3, 16)
-	if th, _ := c.Get(1, 2, 3); th != 16 {
+	c.Put(OpGEMM, 1, 2, 3, 16)
+	if th, _ := c.Get(OpGEMM, 1, 2, 3); th != 16 {
 		t.Fatalf("overwrite: got %d, want 16", th)
 	}
 	if c.Len() != 1 {
 		t.Fatalf("Len %d, want 1", c.Len())
 	}
 	// Permuted dimensions are distinct keys.
-	c.Put(3, 2, 1, 4)
-	if th, ok := c.Get(3, 2, 1); !ok || th != 4 {
+	c.Put(OpGEMM, 3, 2, 1, 4)
+	if th, ok := c.Get(OpGEMM, 3, 2, 1); !ok || th != 4 {
 		t.Fatalf("permuted key collided: (%d,%v)", th, ok)
 	}
 	hits, misses := c.Stats()
@@ -61,8 +61,8 @@ func TestCacheGetPut(t *testing.T) {
 		t.Fatalf("stats (%d,%d) after Reset", h, m)
 	}
 	// Reusable after reset.
-	c.Put(9, 9, 9, 2)
-	if th, ok := c.Get(9, 9, 9); !ok || th != 2 {
+	c.Put(OpGEMM, 9, 9, 9, 2)
+	if th, ok := c.Get(OpGEMM, 9, 9, 9); !ok || th != 2 {
 		t.Fatalf("post-reset put lost: (%d,%v)", th, ok)
 	}
 }
@@ -72,15 +72,15 @@ func TestCacheGetPut(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(4, 1) // single shard, 4 slots
 	for i := 1; i <= 4; i++ {
-		c.Put(i, i, i, i)
+		c.Put(OpGEMM, i, i, i, i)
 	}
-	c.Get(1, 1, 1) // refresh 1: now 2 is the LRU
-	c.Put(5, 5, 5, 5)
-	if _, ok := c.Get(2, 2, 2); ok {
+	c.Get(OpGEMM, 1, 1, 1) // refresh 1: now 2 is the LRU
+	c.Put(OpGEMM, 5, 5, 5, 5)
+	if _, ok := c.Get(OpGEMM, 2, 2, 2); ok {
 		t.Fatal("LRU entry 2 survived eviction")
 	}
 	for _, want := range []int{1, 3, 4, 5} {
-		if th, ok := c.Get(want, want, want); !ok || th != want {
+		if th, ok := c.Get(OpGEMM, want, want, want); !ok || th != want {
 			t.Fatalf("entry %d: (%d,%v)", want, th, ok)
 		}
 	}
@@ -94,7 +94,7 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheEvictionChurn(t *testing.T) {
 	c := NewCache(64, 8)
 	for i := 0; i < 10000; i++ {
-		c.Put(i, i*7, i*13, 1+i%32)
+		c.Put(OpGEMM, i, i*7, i*13, 1+i%32)
 	}
 	if c.Len() > c.Capacity() {
 		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
@@ -102,7 +102,7 @@ func TestCacheEvictionChurn(t *testing.T) {
 	// The most recent keys of each shard should still resolve correctly.
 	found := 0
 	for i := 9900; i < 10000; i++ {
-		if th, ok := c.Get(i, i*7, i*13); ok {
+		if th, ok := c.Get(OpGEMM, i, i*7, i*13); ok {
 			found++
 			if th != 1+i%32 {
 				t.Fatalf("key %d: threads %d, want %d", i, th, 1+i%32)
@@ -125,8 +125,8 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
 				key := (g*2000 + i) % 300
-				c.Put(key, key+1, key+2, key%32+1)
-				if th, ok := c.Get(key, key+1, key+2); ok && th != key%32+1 {
+				c.Put(OpGEMM, key, key+1, key+2, key%32+1)
+				if th, ok := c.Get(OpGEMM, key, key+1, key+2); ok && th != key%32+1 {
 					panic(fmt.Sprintf("key %d read %d", key, th))
 				}
 			}
@@ -144,7 +144,7 @@ func TestShapeKeyHashSpread(t *testing.T) {
 	var hist [shards]int
 	for m := 1; m <= 32; m++ {
 		for k := 1; k <= 8; k++ {
-			hist[shapeKey{m, k, m + k}.hash()&(shards-1)]++
+			hist[shapeKey{OpGEMM, m, k, m + k}.hash()&(shards-1)]++
 		}
 	}
 	for i, n := range hist {

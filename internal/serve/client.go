@@ -68,26 +68,42 @@ func (c *Client) do(method, path string, body, out any) error {
 
 // Predict asks the server for the optimal thread count of one GEMM shape.
 func (c *Client) Predict(m, k, n int) (int, error) {
+	return c.PredictOp(OpGEMM, m, k, n)
+}
+
+// PredictOp asks the server for the optimal thread count of one shape under
+// an explicit operation kind (SYRK shapes pass the (n, k, n) triple).
+func (c *Client) PredictOp(op Op, m, k, n int) (int, error) {
 	var resp PredictResponse
-	if err := c.do(http.MethodPost, "/predict", PredictRequest{M: m, K: k, N: n}, &resp); err != nil {
+	if err := c.do(http.MethodPost, "/predict", PredictRequest{M: m, K: k, N: n, Op: op.String()}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Threads, nil
 }
 
-// PredictDetail returns the full candidate ranking for one shape.
+// PredictDetail returns the full candidate ranking for one GEMM shape.
 func (c *Client) PredictDetail(m, k, n int) (PredictResponse, error) {
+	return c.PredictDetailOp(OpGEMM, m, k, n)
+}
+
+// PredictDetailOp is PredictDetail under an explicit operation kind.
+func (c *Client) PredictDetailOp(op Op, m, k, n int) (PredictResponse, error) {
 	var resp PredictResponse
-	err := c.do(http.MethodPost, "/predict?detail=1", PredictRequest{M: m, K: k, N: n}, &resp)
+	err := c.do(http.MethodPost, "/predict?detail=1", PredictRequest{M: m, K: k, N: n, Op: op.String()}, &resp)
 	return resp, err
 }
 
-// PredictBatch asks the server for the optimal thread counts of many shapes
-// in one round trip.
+// PredictBatch asks the server for the optimal thread counts of many GEMM
+// shapes in one round trip.
 func (c *Client) PredictBatch(shapes []sampling.Shape) ([]int, error) {
+	return c.PredictBatchOp(OpGEMM, shapes)
+}
+
+// PredictBatchOp is PredictBatch under an explicit operation kind.
+func (c *Client) PredictBatchOp(op Op, shapes []sampling.Shape) ([]int, error) {
 	req := BatchRequest{Shapes: make([]PredictRequest, len(shapes))}
 	for i, sh := range shapes {
-		req.Shapes[i] = PredictRequest{M: sh.M, K: sh.K, N: sh.N}
+		req.Shapes[i] = PredictRequest{M: sh.M, K: sh.K, N: sh.N, Op: op.String()}
 	}
 	var resp BatchResponse
 	if err := c.do(http.MethodPost, "/batch", req, &resp); err != nil {

@@ -26,9 +26,14 @@ type Options struct {
 
 // Engine answers thread-selection queries for one trained library. It
 // generalises the §III-C repeated-shape cache: decisions are memoised in a
-// sharded LRU keyed by shape, misses rank the candidates with pooled
-// scratch buffers (no per-call allocation in steady state), and batches
-// fan out across a bounded worker pool. Safe for concurrent use.
+// sharded LRU keyed by (operation, shape), misses rank the candidates with
+// pooled scratch buffers (no per-call allocation in steady state), and
+// batches fan out across a bounded worker pool. Safe for concurrent use.
+//
+// Operations share the library's shape-based ranking model (the paper
+// trains on GEMM timings only); the op keys the decision cache and the
+// serving counters so per-operation models can slot in without changing
+// callers.
 type Engine struct {
 	lib     *core.Library
 	cache   *Cache
@@ -39,6 +44,14 @@ type Engine struct {
 	predictions atomic.Int64 // selections served (cached or computed)
 	evalNanos   atomic.Int64 // cumulative time spent in cache-miss ranking
 	evals       atomic.Int64 // cache-miss rankings performed
+
+	// Warm-up traffic recorded so Stats can report serving counters that
+	// exclude it: a warmed cache otherwise starts with thousands of
+	// synthetic misses and the /stats hit_rate understates real serving
+	// behaviour for its whole lifetime.
+	warmPredictions atomic.Int64
+	warmHits        atomic.Int64
+	warmMisses      atomic.Int64
 }
 
 // NewEngine returns an Engine over the library with the given options.
@@ -64,14 +77,25 @@ func (e *Engine) Cache() *Cache { return e.cache }
 
 // Predict returns the model-selected thread count for an m×k×n GEMM,
 // serving repeated shapes from the sharded cache.
-func (e *Engine) Predict(m, k, n int) int {
+func (e *Engine) Predict(m, k, n int) int { return e.PredictOp(OpGEMM, m, k, n) }
+
+// PredictOp is Predict for an explicit operation kind: the decision is
+// cached under (op, shape). SYRK callers pass the (n, k, n) triple of the
+// equivalent output shape.
+func (e *Engine) PredictOp(op Op, m, k, n int) int {
 	e.predictions.Add(1)
-	if threads, ok := e.cache.Get(m, k, n); ok {
+	if threads, ok := e.cache.Get(op, m, k, n); ok {
 		return threads
 	}
 	threads := e.rank(m, k, n, nil)
-	e.cache.Put(m, k, n, threads)
+	e.cache.Put(op, m, k, n, threads)
 	return threads
+}
+
+// CachedChoice returns the cached decision for (op, shape) without ranking,
+// counting, or LRU promotion — the read-only introspection path.
+func (e *Engine) CachedChoice(op Op, m, k, n int) (threads int, ok bool) {
+	return e.cache.Peek(op, m, k, n)
 }
 
 // rank runs one full candidate ranking with a pooled scratch, recording the
@@ -93,13 +117,21 @@ func (e *Engine) Candidates() []int {
 }
 
 // Rank returns the per-candidate predicted runtimes (seconds, aligned with
-// Candidates()) and the selected thread count for one shape. It bypasses
-// the cache — use it for introspection, not the hot path.
+// Candidates()) and the selected thread count for one GEMM shape.
 func (e *Engine) Rank(m, k, n int) (scores []float64, best int) {
+	return e.RankOp(OpGEMM, m, k, n)
+}
+
+// RankOp is Rank for an explicit operation kind. The cache cannot answer it
+// (it stores decisions, not score vectors), so every call ranks afresh and
+// is counted as one prediction and one cache miss — keeping the /stats
+// hit_rate consistent with the work actually performed.
+func (e *Engine) RankOp(op Op, m, k, n int) (scores []float64, best int) {
 	e.predictions.Add(1)
+	e.cache.misses.Add(1)
 	scores = make([]float64, len(e.lib.Candidates))
 	best = e.rank(m, k, n, scores)
-	e.cache.Put(m, k, n, best)
+	e.cache.Put(op, m, k, n, best)
 	return scores, best
 }
 
@@ -114,6 +146,13 @@ func (e *Engine) Rank(m, k, n int) (scores []float64, best int) {
 // dedup scratch; the no-allocation guarantee applies to the per-shape
 // ranking path, not the batch bookkeeping.
 func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
+	return e.PredictBatchOp(OpGEMM, shapes, out)
+}
+
+// PredictBatchOp is PredictBatch for an explicit operation kind applied to
+// every shape in the batch (mixed-op batches split per op at the HTTP
+// layer).
+func (e *Engine) PredictBatchOp(op Op, shapes []sampling.Shape, out []int) []int {
 	if len(out) < len(shapes) {
 		out = make([]int, len(shapes))
 	}
@@ -122,7 +161,7 @@ func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
 		return out
 	}
 	if len(shapes) == 1 {
-		out[0] = e.Predict(shapes[0].M, shapes[0].K, shapes[0].N)
+		out[0] = e.PredictOp(op, shapes[0].M, shapes[0].K, shapes[0].N)
 		return out
 	}
 
@@ -151,7 +190,7 @@ func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
 	}
 	if workers <= 1 {
 		for u, sh := range uniq {
-			vals[u] = e.Predict(sh.M, sh.K, sh.N)
+			vals[u] = e.PredictOp(op, sh.M, sh.K, sh.N)
 		}
 	} else {
 		var next atomic.Int64
@@ -166,7 +205,7 @@ func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
 						return
 					}
 					sh := uniq[u]
-					vals[u] = e.Predict(sh.M, sh.K, sh.N)
+					vals[u] = e.PredictOp(op, sh.M, sh.K, sh.N)
 				}
 			}()
 		}
@@ -178,10 +217,17 @@ func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
 	return out
 }
 
-// Warmup pre-populates the decision cache with n quasi-random shapes drawn
-// from the given sampling domain — the same low-discrepancy generator used
-// at installation time, so the warmed set covers the trained distribution.
-// Returns the number of decisions computed.
+// Warmup pre-populates the GEMM decision cache with n quasi-random shapes
+// drawn from the given sampling domain — the same low-discrepancy generator
+// used at installation time, so the warmed set covers the trained
+// distribution. Returns the number of decisions computed.
+//
+// The counter deltas incurred by the warm pass are recorded and excluded
+// from the serving statistics (Stats reports them separately): warm-up is
+// synthetic traffic, and its near-100% miss rate would otherwise depress
+// the reported hit_rate long into real serving. Warm-up is intended to run
+// before traffic arrives; requests served concurrently with a warm pass may
+// be attributed to it.
 func (e *Engine) Warmup(dom sampling.Domain, n int, seed int64) (int, error) {
 	if n <= 0 {
 		return 0, nil
@@ -191,11 +237,20 @@ func (e *Engine) Warmup(dom sampling.Domain, n int, seed int64) (int, error) {
 		return 0, fmt.Errorf("serve: warmup: %w", err)
 	}
 	shapes := sampler.Sample(n)
+	p0 := e.predictions.Load()
+	h0, m0 := e.cache.Stats()
 	e.PredictBatch(shapes, nil)
+	p1 := e.predictions.Load()
+	h1, m1 := e.cache.Stats()
+	e.warmPredictions.Add(p1 - p0)
+	e.warmHits.Add(h1 - h0)
+	e.warmMisses.Add(m1 - m0)
 	return len(shapes), nil
 }
 
-// Stats is a point-in-time snapshot of the engine's counters.
+// Stats is a point-in-time snapshot of the engine's counters. Predictions,
+// CacheHits, CacheMisses and HitRate cover serving traffic only; warm-up
+// precomputation is reported separately under the Warmup* fields.
 type Stats struct {
 	Predictions int64   `json:"predictions"`
 	CacheHits   int64   `json:"cache_hits"`
@@ -204,21 +259,33 @@ type Stats struct {
 	CacheLen    int     `json:"cache_len"`
 	CacheCap    int     `json:"cache_capacity"`
 	Shards      int     `json:"shards"`
+	// WarmupDecisions / WarmupHits / WarmupMisses are the counter deltas of
+	// Warmup passes, excluded from the serving counters above.
+	WarmupDecisions int64 `json:"warmup_decisions,omitempty"`
+	WarmupHits      int64 `json:"warmup_hits,omitempty"`
+	WarmupMisses    int64 `json:"warmup_misses,omitempty"`
 	// MeanEvalMicros is the mean latency of one cache-miss candidate
 	// ranking in microseconds.
 	MeanEvalMicros float64 `json:"mean_eval_micros"`
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters. Serving counters are clamped at zero:
+// Cache().Reset() zeroes the cache's hit/miss counters but not the recorded
+// warm-up deltas, and a negative count must never reach the /stats JSON.
 func (e *Engine) Stats() Stats {
 	hits, misses := e.cache.Stats()
+	hits = max0(hits - e.warmHits.Load())
+	misses = max0(misses - e.warmMisses.Load())
 	st := Stats{
-		Predictions: e.predictions.Load(),
-		CacheHits:   hits,
-		CacheMisses: misses,
-		CacheLen:    e.cache.Len(),
-		CacheCap:    e.cache.Capacity(),
-		Shards:      e.cache.Shards(),
+		Predictions:     max0(e.predictions.Load() - e.warmPredictions.Load()),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheLen:        e.cache.Len(),
+		CacheCap:        e.cache.Capacity(),
+		Shards:          e.cache.Shards(),
+		WarmupDecisions: e.warmPredictions.Load(),
+		WarmupHits:      e.warmHits.Load(),
+		WarmupMisses:    e.warmMisses.Load(),
 	}
 	if total := hits + misses; total > 0 {
 		st.HitRate = float64(hits) / float64(total)
@@ -227,4 +294,11 @@ func (e *Engine) Stats() Stats {
 		st.MeanEvalMicros = float64(e.evalNanos.Load()) / float64(evals) / 1e3
 	}
 	return st
+}
+
+func max0(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }

@@ -11,19 +11,24 @@ import (
 	"repro/internal/sampling"
 )
 
-// PredictRequest is the JSON body of POST /predict (GET uses ?m=&k=&n=).
+// PredictRequest is the JSON body of POST /predict (GET uses ?m=&k=&n=&op=).
+// Op selects the operation kind ("gemm" or "syrk"); empty means GEMM, so
+// pre-op clients keep working. SYRK shapes pass the (n, k, n) triple of the
+// output.
 type PredictRequest struct {
-	M int `json:"m"`
-	K int `json:"k"`
-	N int `json:"n"`
+	M  int    `json:"m"`
+	K  int    `json:"k"`
+	N  int    `json:"n"`
+	Op string `json:"op,omitempty"`
 }
 
 // PredictResponse is the JSON answer of /predict.
 type PredictResponse struct {
-	M       int `json:"m"`
-	K       int `json:"k"`
-	N       int `json:"n"`
-	Threads int `json:"threads"`
+	M       int    `json:"m"`
+	K       int    `json:"k"`
+	N       int    `json:"n"`
+	Op      string `json:"op"`
+	Threads int    `json:"threads"`
 	// Candidates and PredictedMicros are present only when detail was
 	// requested: the ranked thread counts and their predicted runtimes.
 	Candidates      []int     `json:"candidates,omitempty"`
@@ -139,9 +144,9 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// parsePredict extracts a shape from either query parameters (GET) or a
-// JSON body (POST).
-func parsePredict(r *http.Request) (PredictRequest, error) {
+// parsePredict extracts a shape and operation kind from either query
+// parameters (GET) or a JSON body (POST).
+func parsePredict(r *http.Request) (PredictRequest, Op, error) {
 	var req PredictRequest
 	switch r.Method {
 	case http.MethodGet:
@@ -151,21 +156,26 @@ func parsePredict(r *http.Request) (PredictRequest, error) {
 		}{{"m", &req.M}, {"k", &req.K}, {"n", &req.N}} {
 			v, err := strconv.Atoi(r.URL.Query().Get(f.name))
 			if err != nil {
-				return req, fmt.Errorf("query parameter %q: want a positive integer", f.name)
+				return req, 0, fmt.Errorf("query parameter %q: want a positive integer", f.name)
 			}
 			*f.dst = v
 		}
+		req.Op = r.URL.Query().Get("op")
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return req, fmt.Errorf("decode body: %v", err)
+			return req, 0, fmt.Errorf("decode body: %v", err)
 		}
 	default:
-		return req, fmt.Errorf("method %s not allowed", r.Method)
+		return req, 0, fmt.Errorf("method %s not allowed", r.Method)
 	}
 	if req.M < 1 || req.K < 1 || req.N < 1 {
-		return req, fmt.Errorf("dimensions must be positive, got %dx%dx%d", req.M, req.K, req.N)
+		return req, 0, fmt.Errorf("dimensions must be positive, got %dx%dx%d", req.M, req.K, req.N)
 	}
-	return req, nil
+	op, err := ParseOp(req.Op)
+	if err != nil {
+		return req, 0, err
+	}
+	return req, op, nil
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -173,7 +183,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	failed := true
 	defer func() { s.predict.observe(time.Since(start), failed) }()
 
-	req, err := parsePredict(r)
+	req, op, err := parsePredict(r)
 	if err != nil {
 		status := http.StatusBadRequest
 		if r.Method != http.MethodGet && r.Method != http.MethodPost {
@@ -182,9 +192,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	resp := PredictResponse{M: req.M, K: req.K, N: req.N}
+	resp := PredictResponse{M: req.M, K: req.K, N: req.N, Op: op.String()}
 	if r.URL.Query().Get("detail") == "1" {
-		scores, best := s.engine.Rank(req.M, req.K, req.N)
+		scores, best := s.engine.RankOp(op, req.M, req.K, req.N)
 		resp.Threads = best
 		resp.Candidates = s.engine.Candidates()
 		resp.PredictedMicros = make([]float64, len(scores))
@@ -192,7 +202,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			resp.PredictedMicros[i] = sec * 1e6
 		}
 	} else {
-		resp.Threads = s.engine.Predict(req.M, req.K, req.N)
+		resp.Threads = s.engine.PredictOp(op, req.M, req.K, req.N)
 	}
 	failed = false
 	writeJSON(w, http.StatusOK, resp)
@@ -220,15 +230,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch of %d shapes exceeds limit %d", len(req.Shapes), MaxBatchShapes)
 		return
 	}
-	shapes := make([]sampling.Shape, 0, len(req.Shapes))
+	// Mixed-op batches are split into one engine batch per operation (the
+	// dedup and worker fan-out happen per op); slots maps each sub-batch
+	// entry back to its request index.
+	var (
+		shapes [numOps][]sampling.Shape
+		slots  [numOps][]int
+	)
 	for i, sh := range req.Shapes {
 		if sh.M < 1 || sh.K < 1 || sh.N < 1 {
 			writeError(w, http.StatusBadRequest, "shape %d: dimensions must be positive, got %dx%dx%d", i, sh.M, sh.K, sh.N)
 			return
 		}
-		shapes = append(shapes, sampling.Shape{M: sh.M, K: sh.K, N: sh.N})
+		op, err := ParseOp(sh.Op)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "shape %d: %v", i, err)
+			return
+		}
+		shapes[op] = append(shapes[op], sampling.Shape{M: sh.M, K: sh.K, N: sh.N})
+		slots[op] = append(slots[op], i)
 	}
-	threads := s.engine.PredictBatch(shapes, nil)
+	threads := make([]int, len(req.Shapes))
+	for op := Op(0); op < numOps; op++ {
+		if len(shapes[op]) == 0 {
+			continue
+		}
+		for j, t := range s.engine.PredictBatchOp(op, shapes[op], nil) {
+			threads[slots[op][j]] = t
+		}
+	}
 	failed = false
 	writeJSON(w, http.StatusOK, BatchResponse{Threads: threads})
 }

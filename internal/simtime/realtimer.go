@@ -3,6 +3,7 @@ package simtime
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blas"
@@ -25,6 +26,7 @@ type RealTimer struct {
 	mu    sync.Mutex
 	cache map[[3]int]*operands
 	rng   *rand.Rand
+	calls atomic.Int64
 }
 
 type operands struct {
@@ -43,11 +45,26 @@ func NewRealTimer(iters int) *RealTimer {
 	}
 }
 
-// Time runs the SGEMM threads-wide and returns the mean wall seconds.
+// Time runs the SGEMM threads-wide and returns the mean wall seconds over
+// Iters repetitions.
 func (t *RealTimer) Time(m, k, n, threads int) float64 {
+	return t.MeasureMean(m, k, n, threads, t.Iters)
+}
+
+// MeasureMean returns the mean wall seconds of exactly iters timed GEMMs
+// (minimum 1). Implementing the core gather's meanTimer interface keeps the
+// repetition count in one place: without it, Gather would loop Iters times
+// over Time — which itself averages Iters repetitions — running Iters²
+// GEMMs per configuration and silently multiplying the installation-time
+// budget (Iters: 3 meant 9 timed GEMMs per point).
+func (t *RealTimer) MeasureMean(m, k, n, threads, iters int) float64 {
+	if iters < 1 {
+		iters = 1
+	}
 	ops := t.operandsFor(m, k, n)
 	var total time.Duration
-	for i := 0; i < t.Iters; i++ {
+	for i := 0; i < iters; i++ {
+		t.calls.Add(1)
 		start := time.Now()
 		// Benchmarked error path is impossible: shapes are consistent by
 		// construction, so any error is a programmer bug worth surfacing.
@@ -56,8 +73,12 @@ func (t *RealTimer) Time(m, k, n, threads int) float64 {
 		}
 		total += time.Since(start)
 	}
-	return total.Seconds() / float64(t.Iters)
+	return total.Seconds() / float64(iters)
 }
+
+// GemmCalls returns the cumulative number of timed GEMM invocations — the
+// ground truth the iters-accounting regression tests assert against.
+func (t *RealTimer) GemmCalls() int64 { return t.calls.Load() }
 
 func (t *RealTimer) operandsFor(m, k, n int) *operands {
 	key := [3]int{m, k, n}

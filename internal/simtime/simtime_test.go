@@ -287,3 +287,22 @@ func TestRealTimerRuns(t *testing.T) {
 		t.Error("iters clamp failed")
 	}
 }
+
+// TestRealTimerRepetitionCount pins the repetition accounting: Time runs
+// exactly Iters GEMMs and MeasureMean exactly its iters argument —
+// MeasureMean must not additionally multiply by the constructor's Iters
+// (the iters² bug the core gather regression test guards end to end).
+func TestRealTimerRepetitionCount(t *testing.T) {
+	rt := NewRealTimer(3)
+	if rt.Time(16, 16, 16, 1); rt.GemmCalls() != 3 {
+		t.Errorf("Time ran %d GEMMs, want Iters=3", rt.GemmCalls())
+	}
+	before := rt.GemmCalls()
+	if rt.MeasureMean(16, 16, 16, 1, 5); rt.GemmCalls()-before != 5 {
+		t.Errorf("MeasureMean(iters=5) ran %d GEMMs, want 5", rt.GemmCalls()-before)
+	}
+	before = rt.GemmCalls()
+	if rt.MeasureMean(16, 16, 16, 1, 0); rt.GemmCalls()-before != 1 {
+		t.Errorf("MeasureMean(iters=0) ran %d GEMMs, want clamp to 1", rt.GemmCalls()-before)
+	}
+}
