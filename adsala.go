@@ -8,23 +8,31 @@
 //
 // Usage sketch:
 //
-//	lib, report, err := adsala.Train(adsala.TrainOptions{Platform: "Gadi"})
+//	lib, report, err := adsala.Train(adsala.TrainOptions{
+//		Platform: "Gadi",
+//		Ops:      []adsala.Op{adsala.OpSYRK}, // per-op models beyond GEMM
+//	})
 //	...
-//	g := lib.NewGemm()
-//	g.SGEMM(false, false, 1, a, b, 0, c) // threads picked by the model
+//	b := lib.BLAS()
+//	b.SGEMM(false, false, 1, a, x, 0, c) // threads picked by the GEMM model
+//	b.SSYRK(false, 1, a, 0, c2)          // threads picked by the SYRK model
 //
-// Train-once, use-everywhere: Library.Save writes the two installation
-// artefacts (preprocessing config + trained model) to one JSON file that
-// adsala.Load restores at program start.
+// Train-once, use-everywhere: Library.Save writes the installation
+// artefacts (per-op preprocessing configs + trained models) to one JSON
+// file that adsala.Load restores at program start — including artefacts
+// saved by pre-registry versions (format v1), which load as a GEMM-only
+// bundle and predict identically.
 package adsala
 
 import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/ops"
 	"repro/internal/sampling"
 	"repro/internal/serve"
 	"repro/internal/simtime"
@@ -57,20 +65,50 @@ type TrainOptions struct {
 	Iters int
 	// Quick shrinks model grids and ensemble sizes (for demos and tests).
 	Quick bool
-	// HT enables hyper-threading on simulated platforms (default true).
+	// NoHT disables hyper-threading on simulated platforms (hyper-threading
+	// is on by default; setting NoHT caps thread counts at the physical
+	// core count).
 	NoHT bool
 	Seed int64
+	// Ops lists the operations to train per-op models for, beyond the
+	// always-trained GEMM (e.g. [OpSYRK, OpSYR2K]). Each op gathers its own
+	// timing sweep through its registered kernel and cost profile; ops
+	// without a model fall back to the GEMM model at serving time.
+	Ops []Op
 }
 
-// Report is the model-comparison outcome of installation (Tables III/IV).
+// Report is the model-comparison outcome of installation (Tables III/IV):
+// the primary GEMM comparison plus one section per additionally trained op.
 type Report struct {
+	// Rows is the primary (GEMM) model comparison.
+	Rows []core.ModelReport
+	// PerOp holds one section per trained operation, GEMM first.
+	PerOp []OpReport
+}
+
+// OpReport is one operation's model comparison.
+type OpReport struct {
+	Op   string
 	Rows []core.ModelReport
 }
 
-// String renders the report as an aligned table.
-func (r *Report) String() string { return core.RenderReport(r.Rows) }
+// String renders the report as aligned tables — one per trained op when
+// models beyond GEMM were trained.
+func (r *Report) String() string {
+	if len(r.PerOp) <= 1 {
+		return core.RenderReport(r.Rows)
+	}
+	var b strings.Builder
+	for i, sec := range r.PerOp {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "op %s:\n%s", sec.Op, core.RenderReport(sec.Rows))
+	}
+	return b.String()
+}
 
-// Best returns the name of the selected model.
+// Best returns the primary-comparison row for the given model kind.
 func (r *Report) Best(kind string) (core.ModelReport, bool) {
 	for _, row := range r.Rows {
 		if row.Kind == kind {
@@ -80,13 +118,20 @@ func (r *Report) Best(kind string) (core.ModelReport, bool) {
 	return core.ModelReport{}, false
 }
 
-// Library is a trained ADSALA artefact.
+// Library is a trained ADSALA artefact: a per-operation model bundle plus
+// one shared serving engine that every runtime facade created from it
+// (BLAS, the deprecated NewGemm/NewSyrk wrappers, NewServer with default
+// options) observes — one decision cache, one set of statistics.
 type Library struct {
 	inner *core.Library
+
+	engOnce sync.Once
+	eng     *serve.Engine
 }
 
-// Train runs the full installation workflow (Fig 2) and returns the
-// deployable library plus the model-comparison report.
+// Train runs the full installation workflow (Fig 2) — once per requested
+// operation — and returns the deployable library plus the model-comparison
+// report.
 func Train(opts TrainOptions) (*Library, *Report, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
@@ -96,7 +141,11 @@ func Train(opts TrainOptions) (*Library, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Library{inner: res.Library}, &Report{Rows: res.Reports}, nil
+	rep := &Report{Rows: res.Reports}
+	for _, op := range res.Library.TrainedOps() {
+		rep.PerOp = append(rep.PerOp, OpReport{Op: op.String(), Rows: res.OpReports[op]})
+	}
+	return &Library{inner: res.Library}, rep, nil
 }
 
 func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
@@ -164,14 +213,19 @@ func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
 		Seed:       seed,
 	}
 	if platform == "local" {
-		// Local timing of the pure-Go GEMM: keep shapes small enough to
+		// Local timing of the pure-Go kernels: keep shapes small enough to
 		// finish quickly.
 		gather.Domain.MaxDim = 768
 	}
 	cfg := core.DefaultTrainConfig(gather, platform, refThreads)
 	cfg.Models = core.DefaultModels(seed, opts.Quick)
+	cfg.Ops = opts.Ops
 	return cfg, nil
 }
+
+// ParseOps maps a comma-separated list of operation wire names (e.g.
+// "gemm,syrk") to Ops — the format of adsala-train's -ops flag.
+func ParseOps(s string) ([]Op, error) { return ops.ParseList(s) }
 
 // Load restores a library saved by Save.
 func Load(path string) (*Library, error) {
@@ -189,7 +243,7 @@ func (l *Library) Save(path string) error { return l.inner.Save(path) }
 func (l *Library) Platform() string { return l.inner.Platform }
 
 // ModelKind returns the selected model family (e.g. "xgb").
-func (l *Library) ModelKind() string { return l.inner.ModelKind }
+func (l *Library) ModelKind() string { return l.inner.ModelKind() }
 
 // Candidates returns the thread counts the library ranks at runtime.
 func (l *Library) Candidates() []int {
@@ -201,14 +255,26 @@ func (l *Library) OptimalThreads(m, k, n int) int {
 	return l.inner.OptimalThreads(m, k, n)
 }
 
+// OptimalThreadsOp predicts the fastest thread count for one operation at
+// its canonical (m, k, n) feature triple (symmetric updates pass (n, k, n)),
+// using the op's own model when trained and the GEMM model otherwise.
+func (l *Library) OptimalThreadsOp(op Op, m, k, n int) int {
+	return l.inner.OptimalThreadsOp(op, m, k, n)
+}
+
 // PredictRuntime returns the model's wall-time estimate in seconds for one
 // GEMM configuration.
 func (l *Library) PredictRuntime(m, k, n, threads int) float64 {
 	return l.inner.PredictSeconds(m, k, n, threads)
 }
 
+// PredictRuntimeOp is PredictRuntime under an explicit operation kind.
+func (l *Library) PredictRuntimeOp(op Op, m, k, n, threads int) float64 {
+	return l.inner.PredictOpSeconds(op, m, k, n, threads)
+}
+
 // EvalLatency returns the measured model-evaluation latency per selection.
-func (l *Library) EvalLatency() float64 { return l.inner.EvalSeconds }
+func (l *Library) EvalLatency() float64 { return l.inner.EvalSeconds() }
 
 // Predictor returns a caching thread-count predictor (the Fig 3 runtime
 // path) bound to this library. Each Predictor keeps its own last-shape
@@ -228,26 +294,48 @@ type (
 	Server = serve.Server
 	// ServeClient is the Go client for the adsala-serve HTTP API.
 	ServeClient = serve.Client
-	// Op identifies the BLAS-3 operation a decision applies to (GEMM or
-	// SYRK); it keys the serving cache.
+	// Op identifies the BLAS-3 operation a decision (and model) applies to;
+	// it keys the serving cache and the per-op model bundle. Ops come from
+	// the operation registry — see OpGEMM, OpSYRK, OpSYR2K.
 	Op = serve.Op
 )
 
-// Operation kinds accepted by the op-aware engine, server and client APIs.
+// Operation kinds accepted by the op-aware engine, server and client APIs
+// and by TrainOptions.Ops.
 const (
-	OpGEMM = serve.OpGEMM
-	OpSYRK = serve.OpSYRK
+	OpGEMM  = serve.OpGEMM
+	OpSYRK  = serve.OpSYRK
+	OpSYR2K = serve.OpSYR2K
 )
+
+// TrainedOps returns the operations this library holds a model of its own
+// for (always at least OpGEMM; others fall back to the GEMM model).
+func (l *Library) TrainedOps() []Op { return l.inner.TrainedOps() }
+
+// sharedEngine returns the library's lazily created default engine — the
+// single cache every facade shares.
+func (l *Library) sharedEngine() *serve.Engine {
+	l.engOnce.Do(func() { l.eng = serve.NewEngine(l.inner, serve.Options{}) })
+	return l.eng
+}
 
 // Engine returns a concurrent prediction engine bound to this library: a
 // sharded LRU decision cache plus a batch ranking path over reusable
-// buffers. Safe for concurrent use; see the internal/serve package.
+// buffers. The zero Options select the library's shared engine — the same
+// decision cache and statistics every facade (BLAS, NewGemm, NewSyrk)
+// observes; non-zero Options build a private engine with that
+// configuration. Safe for concurrent use; see the internal/serve package.
 func (l *Library) Engine(opts ServeOptions) *serve.Engine {
+	if opts == (serve.Options{}) {
+		return l.sharedEngine()
+	}
 	return serve.NewEngine(l.inner, opts)
 }
 
 // NewServer returns an http.Handler serving this library's predictions at
 // /predict, /batch, /stats and /healthz (the adsala-serve daemon wraps it).
+// Zero Options mount the library's shared engine, so the server's /stats
+// agree with the in-process facades.
 func (l *Library) NewServer(opts ServeOptions) *serve.Server {
 	return serve.NewServer(l.Engine(opts))
 }

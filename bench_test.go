@@ -21,6 +21,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mat"
 	"repro/internal/ml"
+	"repro/internal/ops"
 	"repro/internal/preprocess"
 	"repro/internal/sampling"
 	"repro/internal/serve"
@@ -119,6 +120,29 @@ func BenchmarkSSYRK64Serial(b *testing.B)     { benchSSYRK(b, 64, 64, 1) }
 func BenchmarkSSYRK256Serial(b *testing.B)    { benchSSYRK(b, 256, 256, 1) }
 func BenchmarkSSYRK256Parallel4(b *testing.B) { benchSSYRK(b, 256, 256, 4) }
 func BenchmarkSSYRKWideK(b *testing.B)        { benchSSYRK(b, 64, 2048, 1) }
+
+// benchSSYR2K measures the packed SYR2K (SetBytes carries 2·n(n+1)k, the
+// standard SYR2K FLOP count, so the MB/s column reads as FLOP throughput).
+func benchSSYR2K(b *testing.B, n, k, threads int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	A := mat.NewF32(n, k)
+	B := mat.NewF32(n, k)
+	C := mat.NewF32(n, n)
+	A.FillRandom(rng)
+	B.FillRandom(rng)
+	b.SetBytes(2 * int64(n) * int64(n+1) * int64(k))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := blas.SSYR2K(false, 1, A, B, 0, C, threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSYR2K64Serial(b *testing.B)     { benchSSYR2K(b, 64, 64, 1) }
+func BenchmarkSSYR2K256Serial(b *testing.B)    { benchSSYR2K(b, 256, 256, 1) }
+func BenchmarkSSYR2K256Parallel4(b *testing.B) { benchSSYR2K(b, 256, 256, 4) }
 
 // BenchmarkSSYRKNaive256 is the pre-packed per-element reference the
 // ISSUE-3 acceptance criterion measures against (packed ≥ 3× at n=k=256).
@@ -225,10 +249,11 @@ func BenchmarkModelEvalLatency(b *testing.B) {
 		}
 	})
 	b.Run("single-predict", func(b *testing.B) {
-		row := lib.Pipeline.Transform(featRow(512, 512, 512, 16, lib))
+		gemm := lib.ModelFor(ops.GEMM)
+		row := gemm.Pipeline.Transform(featRow(512, 512, 512, 16, lib))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			lib.Model.Predict(row)
+			gemm.Model.Predict(row)
 		}
 	})
 }
@@ -237,7 +262,7 @@ func featRow(m, k, n, t int, lib *core.Library) []float64 {
 	// The library may restrict columns; PredictSeconds handles that, so use
 	// the pipeline width directly via a probe call.
 	_ = lib.PredictSeconds(m, k, n, t)
-	return make([]float64, len(lib.Pipeline.InputCols))
+	return make([]float64, len(lib.ModelFor(ops.GEMM).Pipeline.InputCols))
 }
 
 // BenchmarkPredictorCached measures the §III-C repeated-shape cache against

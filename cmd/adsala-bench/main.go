@@ -10,6 +10,8 @@
 //	adsala-bench -gemm-json - -gemm-smoke
 //	adsala-bench -syrk-json BENCH_syrk.json
 //	adsala-bench -syrk-json - -syrk-smoke
+//	adsala-bench -syr2k-json BENCH_syr2k.json
+//	adsala-bench -syr2k-json - -syr2k-smoke
 package main
 
 import (
@@ -25,13 +27,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adsala-bench: ")
 	var (
-		exp       = flag.String("exp", "all", "experiment id or \"all\"")
-		scale     = flag.String("scale", "default", "quick, default or paper")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		gemmJSON  = flag.String("gemm-json", "", "measure the GEMM kernel and write a JSON report to this file (\"-\" for stdout), then exit")
-		gemmSmoke = flag.Bool("gemm-smoke", false, "with -gemm-json: run each case once without timing (CI regression guard)")
-		syrkJSON  = flag.String("syrk-json", "", "measure the SYRK kernel and write a JSON report to this file (\"-\" for stdout), then exit")
-		syrkSmoke = flag.Bool("syrk-smoke", false, "with -syrk-json: run each case once without timing (CI regression guard)")
+		exp        = flag.String("exp", "all", "experiment id or \"all\"")
+		scale      = flag.String("scale", "default", "quick, default or paper")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		gemmJSON   = flag.String("gemm-json", "", "measure the GEMM kernel and write a JSON report to this file (\"-\" for stdout), then exit")
+		gemmSmoke  = flag.Bool("gemm-smoke", false, "with -gemm-json: run each case once without timing (CI regression guard)")
+		syrkJSON   = flag.String("syrk-json", "", "measure the SYRK kernel and write a JSON report to this file (\"-\" for stdout), then exit")
+		syrkSmoke  = flag.Bool("syrk-smoke", false, "with -syrk-json: run each case once without timing (CI regression guard)")
+		syr2kJSON  = flag.String("syr2k-json", "", "measure the SYR2K kernel and write a JSON report to this file (\"-\" for stdout), then exit")
+		syr2kSmoke = flag.Bool("syr2k-smoke", false, "with -syr2k-json: run each case once without timing (CI regression guard)")
 	)
 	flag.Parse()
 
@@ -43,6 +47,12 @@ func main() {
 	}
 	if *syrkJSON != "" {
 		if err := runSyrkBench(*syrkJSON, *syrkSmoke); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *syr2kJSON != "" {
+		if err := runSyr2kBench(*syr2kJSON, *syr2kSmoke); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,205 @@
+package main
+
+// Shared trajectory harness for the symmetric-update kernels: -syrk-json
+// and -syr2k-json measure the packed kernel (GFLOPS and allocations per
+// shape × thread count) with testing.Benchmark and write machine-readable
+// reports with one common layout (the GEMM harness in gemmbench.go predates
+// it and carries its own committed-baseline schema). The single-thread
+// cases also time the naive per-element reference. CI runs 1-iteration
+// smokes of the same harness; committed BENCH_syrk.json / BENCH_syr2k.json
+// files record the trajectories per development machine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+// symBenchCase is one measured configuration of an n×n rank-k update.
+type symBenchCase struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	K       int    `json:"k"`
+	Threads int    `json:"threads"`
+}
+
+// symBenchEntry is one row of the report.
+type symBenchEntry struct {
+	symBenchCase
+	NsPerOp     float64 `json:"ns_per_op"`
+	GFLOPS      float64 `json:"gflops"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// NaiveNsPerOp and SpeedupVsNaive compare against the per-element
+	// reference; measured only for the single-thread cases.
+	NaiveNsPerOp   float64 `json:"naive_ns_per_op,omitempty"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
+}
+
+// symBenchReport is the file layout of BENCH_syrk.json / BENCH_syr2k.json.
+type symBenchReport struct {
+	Schema      string          `json:"schema"`
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOARCH      string          `json:"goarch"`
+	NumCPU      int             `json:"num_cpu"`
+	Note        string          `json:"note"`
+	Results     []symBenchEntry `json:"results"`
+}
+
+// symBenchSpec parameterises the harness per operation — the op-specific
+// facts (FLOP formula, operand setup, kernel and naive bindings), so a new
+// symmetric op is one spec, not a third copy of the harness.
+type symBenchSpec struct {
+	// label prefixes the stderr progress lines ("syrk-bench" etc.).
+	label string
+	// schema and note are the report header fields.
+	schema, note string
+	// casePrefix names the cases ("ssyrk" → "ssyrk-256-t2").
+	casePrefix string
+	// smallN/smallK is the small-path shape appended to the sweep (the
+	// no-packing threshold differs per op).
+	smallN, smallK int
+	// flops returns the op's FLOP count at (n, k).
+	flops func(n, k int) float64
+	// newRunners allocates operands for (n, k) and returns the packed
+	// kernel closure (on the given context) and the naive reference.
+	newRunners func(ctx *blas.Context, n, k int, rng *rand.Rand) (run func(threads int) error, naive func())
+}
+
+// syrkBenchSpec is the -syrk-json harness configuration.
+func syrkBenchSpec() symBenchSpec {
+	return symBenchSpec{
+		label:      "syrk-bench",
+		schema:     "adsala/bench-syrk/v1",
+		note:       "flops = n*(n+1)*k; steady-state pooled-context path; naive = serial per-element reference (pre-packed SYRK)",
+		casePrefix: "ssyrk",
+		smallN:     32, smallK: 32,
+		flops: func(n, k int) float64 { return float64(n) * float64(n+1) * float64(k) },
+		newRunners: func(ctx *blas.Context, n, k int, rng *rand.Rand) (func(threads int) error, func()) {
+			a := mat.NewF32(n, k)
+			c := mat.NewF32(n, n)
+			a.FillRandom(rng)
+			return func(threads int) error { return ctx.SSYRK(false, 1, a, 0, c, threads) },
+				func() { blas.NaiveSSYRK(false, 1, a, 0, c) }
+		},
+	}
+}
+
+// syr2kBenchSpec is the -syr2k-json harness configuration.
+func syr2kBenchSpec() symBenchSpec {
+	return symBenchSpec{
+		label:      "syr2k-bench",
+		schema:     "adsala/bench-syr2k/v1",
+		note:       "flops = 2*n*(n+1)*k; steady-state pooled-context path; naive = serial per-element reference",
+		casePrefix: "ssyr2k",
+		smallN:     24, smallK: 24, // the rank-2k no-packing threshold halves in k
+		flops: func(n, k int) float64 { return 2 * float64(n) * float64(n+1) * float64(k) },
+		newRunners: func(ctx *blas.Context, n, k int, rng *rand.Rand) (func(threads int) error, func()) {
+			a := mat.NewF32(n, k)
+			b := mat.NewF32(n, k)
+			c := mat.NewF32(n, n)
+			a.FillRandom(rng)
+			b.FillRandom(rng)
+			return func(threads int) error { return ctx.SSYR2K(false, 1, a, b, 0, c, threads) },
+				func() { blas.NaiveSSYR2K(false, 1, a, b, 0, c) }
+		},
+	}
+}
+
+func runSyrkBench(path string, smoke bool) error { return runSymBench(syrkBenchSpec(), path, smoke) }
+
+func runSyr2kBench(path string, smoke bool) error { return runSymBench(syr2kBenchSpec(), path, smoke) }
+
+// symBenchCases is the measured sweep: the cube sizes of the GEMM
+// trajectory at the thread counts a 1–4 core machine can express, plus a
+// wide-k panel shape and the op's small-path shape.
+func symBenchCases(spec symBenchSpec) []symBenchCase {
+	var cases []symBenchCase
+	for _, size := range []int{64, 128, 256, 512} {
+		for _, threads := range []int{1, 2, 4} {
+			cases = append(cases, symBenchCase{
+				Name: fmt.Sprintf("%s-%d-t%d", spec.casePrefix, size, threads),
+				N:    size, K: size, Threads: threads,
+			})
+		}
+	}
+	cases = append(cases,
+		symBenchCase{Name: spec.casePrefix + "-widek-t1", N: 64, K: 2048, Threads: 1},
+		symBenchCase{Name: spec.casePrefix + "-small-t1", N: spec.smallN, K: spec.smallK, Threads: 1},
+	)
+	return cases
+}
+
+// runSymBench measures every case and writes the JSON report to path.
+// smoke restricts each case to a single iteration (the CI regression guard:
+// it exercises the full harness without paying benchmark time).
+func runSymBench(spec symBenchSpec, path string, smoke bool) error {
+	report := symBenchReport{
+		Schema:      spec.schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Note:        spec.note,
+	}
+	if smoke {
+		report.Note += "; SMOKE RUN (1 iteration per case, timings not meaningful)"
+	}
+	for _, bc := range symBenchCases(spec) {
+		ctx := blas.NewContext()
+		run, naive := spec.newRunners(ctx, bc.N, bc.K, rand.New(rand.NewSource(1)))
+		// Warm outside the measurement so steady-state allocation is
+		// reported (buffers, team, and worker closure are created once).
+		if err := run(bc.Threads); err != nil {
+			return fmt.Errorf("%s %s: %w", spec.label, bc.Name, err)
+		}
+		entry := symBenchEntry{symBenchCase: bc}
+		if !smoke {
+			res := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					if err := run(bc.Threads); err != nil {
+						tb.Fatal(err)
+					}
+				}
+			})
+			entry.NsPerOp = float64(res.T.Nanoseconds()) / float64(res.N)
+			entry.GFLOPS = spec.flops(bc.N, bc.K) / entry.NsPerOp
+			entry.AllocsPerOp = res.AllocsPerOp()
+			entry.BytesPerOp = res.AllocedBytesPerOp()
+			if bc.Threads == 1 {
+				nres := testing.Benchmark(func(tb *testing.B) {
+					for i := 0; i < tb.N; i++ {
+						naive()
+					}
+				})
+				entry.NaiveNsPerOp = float64(nres.T.Nanoseconds()) / float64(nres.N)
+				entry.SpeedupVsNaive = entry.NaiveNsPerOp / entry.NsPerOp
+			}
+		} else {
+			naive() // smoke the reference too
+		}
+		ctx.Close()
+		report.Results = append(report.Results, entry)
+		fmt.Fprintf(os.Stderr, "%s %-17s %8.2f GFLOPS  %3d allocs/op  %5.2fx vs naive\n",
+			spec.label, bc.Name, entry.GFLOPS, entry.AllocsPerOp, entry.SpeedupVsNaive)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -5,14 +5,16 @@
 // Endpoints:
 //
 //	GET  /predict?m=&k=&n=&op=  one decision (add &detail=1 for the ranking)
-//	POST /predict               {"m":..,"k":..,"n":..,"op":"gemm"|"syrk"}
+//	POST /predict               {"m":..,"k":..,"n":..,"op":"gemm"|"syrk"|"syr2k"}
 //	POST /batch                 {"shapes":[{"m":..,"k":..,"n":..,"op":..},...]}
 //	GET  /stats                 cache, engine and HTTP latency metrics
 //	GET  /healthz               liveness probe
 //
-// The op field selects the operation the decision is for (default "gemm");
-// decisions are cached per (op, shape). SYRK queries pass the (n, k, n)
-// triple of the output shape.
+// The op field selects the registered operation the decision is for
+// (default "gemm"); decisions are cached per (op, shape) and rank with the
+// op's own model when the library was trained with one (adsala-train
+// -ops gemm,syrk,...). Symmetric updates pass the (n, k, n) triple of the
+// output shape. Mixed-op batches split per op and preserve request order.
 //
 // Usage:
 //

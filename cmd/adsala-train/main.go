@@ -8,6 +8,11 @@
 //
 //	adsala-train -platform Gadi -cap 500 -shapes 300 -out gadi.adsala.json
 //	adsala-train -platform local -out local.adsala.json
+//	adsala-train -platform Gadi -ops gemm,syrk -out gadi.adsala.json
+//
+// -ops trains one model per listed operation (GEMM is always trained); the
+// artefact stores the per-op bundle in format v2, and the report prints one
+// comparison table per op.
 package main
 
 import (
@@ -29,10 +34,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "smaller model grids and ensembles")
 		noHT     = flag.Bool("no-ht", false, "disable hyper-threading on the simulated platform")
+		opsFlag  = flag.String("ops", "gemm", "comma-separated operations to train models for (gemm,syrk,syr2k); gemm is always included")
 		out      = flag.String("out", "adsala.json", "output library file")
 	)
 	flag.Parse()
 
+	trainOps, err := adsala.ParseOps(*opsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	lib, report, err := adsala.Train(adsala.TrainOptions{
 		Platform: *platform,
 		CapMB:    *capMB,
@@ -41,11 +51,13 @@ func main() {
 		Seed:     *seed,
 		Quick:    *quick,
 		NoHT:     *noHT,
+		Ops:      trainOps,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Model comparison on %s:\n%s\n", lib.Platform(), report)
+	fmt.Printf("trained ops: %v\n", lib.TrainedOps())
 	fmt.Printf("selected model: %s (eval latency %.1f us)\n",
 		lib.ModelKind(), lib.EvalLatency()*1e6)
 	if err := lib.Save(*out); err != nil {

@@ -1,6 +1,7 @@
-// Quickstart: train an ADSALA library against the simulated Gadi node, look
-// at the model comparison, ask it for thread counts, and run a real GEMM
-// through the ML-driven front end.
+// Quickstart: train an ADSALA library against the simulated Gadi node —
+// with a per-op SYRK model alongside the GEMM one — look at the model
+// comparison, ask it for thread counts, and run real BLAS-3 calls through
+// the ML-driven front end.
 //
 //	go run ./examples/quickstart
 package main
@@ -21,13 +22,17 @@ func main() {
 	fmt.Println("== training ADSALA for the Gadi platform (2x 24-core Cascade Lake) ==")
 	lib, report, err := adsala.Train(adsala.TrainOptions{
 		Platform: "Gadi", Shapes: 120, Quick: true, Seed: 7,
+		// Train a SYRK model of its own next to GEMM's: SYRK's triangular
+		// cost profile (~half the FLOPs of a square GEMM) gets its own sweep
+		// instead of borrowing the GEMM model with a ~2x mis-estimate.
+		Ops: []adsala.Op{adsala.OpSYRK},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(report)
-	fmt.Printf("selected model: %s, evaluation latency %.0f us\n\n",
-		lib.ModelKind(), lib.EvalLatency()*1e6)
+	fmt.Printf("trained ops: %v; selected model: %s, evaluation latency %.0f us\n\n",
+		lib.TrainedOps(), lib.ModelKind(), lib.EvalLatency()*1e6)
 
 	// 2. Ask the model for thread counts across very different shapes.
 	fmt.Println("== model-selected thread counts (max on Gadi: 96) ==")
@@ -44,11 +49,12 @@ func main() {
 			s[0], s[1], s[2], threads, pred*1e6)
 	}
 
-	// 3. Run an actual GEMM through the front end: the model picks the
-	// thread count (clamped to this machine's cores), the built-in blocked
-	// GEMM executes it.
-	fmt.Println("\n== executing a real SGEMM through the ADSALA front end ==")
-	g := lib.NewGemm()
+	// 3. Run actual BLAS-3 calls through the one generic front end: per op,
+	// the bundle's model picks the thread count (clamped to this machine's
+	// cores) and the built-in blocked kernels execute it. Every call shares
+	// one decision cache.
+	fmt.Println("\n== executing real BLAS-3 calls through lib.BLAS() ==")
+	bl := lib.BLAS()
 	rng := rand.New(rand.NewSource(1))
 	m, k, n := 256, 384, 128
 	a := adsala.NewMatrixF32(m, k)
@@ -56,9 +62,27 @@ func main() {
 	c := adsala.NewMatrixF32(m, n)
 	a.FillRandom(rng)
 	b.FillRandom(rng)
-	if err := g.SGEMM(false, false, 1, a, b, 0, c); err != nil {
+	if err := bl.SGEMM(false, false, 1, a, b, 0, c); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("C = A(%dx%d) * B(%dx%d) done with %d threads; C[0,0] = %f\n",
-		m, k, k, n, g.LastChoice(m, k, n), c.At(0, 0))
+		m, k, k, n, bl.LastChoice(adsala.OpGEMM, m, k, n), c.At(0, 0))
+
+	cs := adsala.NewMatrixF32(m, m)
+	if err := bl.SSYRK(false, 1, a, 0, cs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C = A*A^T (n=%d, k=%d) done with %d threads (SYRK model)\n",
+		m, k, bl.LastChoice(adsala.OpSYRK, m, k, m))
+
+	a2 := adsala.NewMatrixF32(m, k)
+	a2.FillRandom(rng)
+	c2 := adsala.NewMatrixF32(m, m)
+	if err := bl.SSYR2K(false, 1, a, a2, 0, c2); err != nil {
+		log.Fatal(err)
+	}
+	hits, misses := bl.CacheStats()
+	fmt.Printf("C = A*B^T + B*A^T (n=%d, k=%d) done with %d threads (SYR2K)\n",
+		m, k, bl.LastChoice(adsala.OpSYR2K, m, k, m))
+	fmt.Printf("shared decision cache: %d hits, %d misses across all ops\n", hits, misses)
 }

@@ -1,124 +1,39 @@
 package adsala
 
-import (
-	"runtime"
-
-	"repro/internal/blas"
-	"repro/internal/mat"
-	"repro/internal/serve"
-)
-
-// Internal aliases backing the exported matrix names.
-type (
-	matF32 = mat.F32
-	matF64 = mat.F64
-)
-
-// NewMatrixF32 allocates a zeroed, 64-byte-aligned rows × cols matrix.
-func NewMatrixF32(rows, cols int) *MatrixF32 { return mat.NewF32(rows, cols) }
-
-// NewMatrixF64 allocates a zeroed, 64-byte-aligned rows × cols matrix.
-func NewMatrixF64(rows, cols int) *MatrixF64 { return mat.NewF64(rows, cols) }
-
-// Gemm is the runtime front end of Fig 3: it wraps the built-in
-// multi-threaded GEMM, consulting the library's model for the thread count
-// on every call and re-using cached decisions when dimensions repeat. The
-// cache generalises §III-C from the single last shape to a sharded LRU over
-// many shapes, so concurrent callers with mixed workloads do not serialize
-// on one lock. Thread counts are clamped to the local GOMAXPROCS so a
-// library trained for a larger platform still runs correctly here.
+// Gemm is the legacy GEMM-only front end, kept as a thin wrapper over the
+// generic BLAS facade.
 //
-// The full predict→execute path is allocation-free in steady state: cache
-// hits rank nothing, and execution draws a warmed blas.Context (packed-panel
-// buffers plus a persistent worker team) from the kernel's internal pool.
-//
-// A Gemm is safe for concurrent use.
+// Deprecated: use Library.BLAS(), which serves every registered operation
+// through one shared engine. Gemm remains so pre-registry callers keep
+// compiling; it shares the same engine (and therefore the same decision
+// cache and statistics) as every other facade of its Library.
 type Gemm struct {
-	eng *serve.Engine
-	// maxLocal caps the executed thread count (0 = GOMAXPROCS).
-	maxLocal int
+	b *BLAS
 }
 
-// NewGemm returns a GEMM front end bound to the library.
-func (l *Library) NewGemm() *Gemm {
-	return &Gemm{eng: serve.NewEngine(l.inner, serve.Options{})}
-}
+// NewGemm returns a GEMM front end bound to the library's shared engine.
+//
+// Deprecated: use Library.BLAS().
+func (l *Library) NewGemm() *Gemm { return &Gemm{b: l.BLAS()} }
 
 // SetMaxLocalThreads overrides the local execution clamp (useful in tests).
-func (g *Gemm) SetMaxLocalThreads(n int) { g.maxLocal = n }
-
-// localClamp returns the largest thread count to actually run.
-func (g *Gemm) localClamp() int {
-	if g.maxLocal > 0 {
-		return g.maxLocal
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// clampThreads bounds a model decision to [1, max] for local execution
-// (shared by the Gemm and Syrk facades).
-func clampThreads(threads, max int) int {
-	if threads > max {
-		threads = max
-	}
-	if threads < 1 {
-		threads = 1
-	}
-	return threads
-}
-
-// choose returns the model-selected thread count, clamped for local
-// execution.
-func (g *Gemm) choose(m, k, n int) int {
-	return clampThreads(g.eng.Predict(m, k, n), g.localClamp())
-}
+func (g *Gemm) SetMaxLocalThreads(n int) { g.b.SetMaxLocalThreads(n) }
 
 // SGEMM computes C ← alpha·op(A)·op(B) + beta·C in single precision with the
 // model-selected thread count.
 func (g *Gemm) SGEMM(transA, transB bool, alpha float32, a, b *MatrixF32, beta float32, c *MatrixF32) error {
-	m, n, k := opDimsF32(a, transA, b, transB)
-	return blas.SGEMM(transA, transB, alpha, a, b, beta, c, g.choose(m, k, n))
+	return g.b.SGEMM(transA, transB, alpha, a, b, beta, c)
 }
 
 // DGEMM is the double-precision counterpart of SGEMM.
 func (g *Gemm) DGEMM(transA, transB bool, alpha float64, a, b *MatrixF64, beta float64, c *MatrixF64) error {
-	m := a.Rows
-	k := a.Cols
-	if transA {
-		m, k = a.Cols, a.Rows
-	}
-	n := b.Cols
-	if transB {
-		n = b.Rows
-	}
-	return blas.DGEMM(transA, transB, alpha, a, b, beta, c, g.choose(m, k, n))
+	return g.b.DGEMM(transA, transB, alpha, a, b, beta, c)
 }
 
-// LastChoice reports the thread count a previous GEMM call (or Predict)
-// selected for the given dimensions, clamped the same way execution was. It
-// is a read-only peek of the decision cache: no prediction runs and no
-// hit/miss counter moves, so introspection cannot distort the serving
-// statistics. Returns 0 when the shape has not been selected yet (or its
-// entry has been evicted).
-func (g *Gemm) LastChoice(m, k, n int) int {
-	threads, ok := g.eng.CachedChoice(serve.OpGEMM, m, k, n)
-	if !ok {
-		return 0
-	}
-	return clampThreads(threads, g.localClamp())
-}
+// LastChoice reports the thread count a previous GEMM call (or prediction)
+// selected for the given dimensions — a read-only peek of the shared
+// decision cache. Returns 0 when the shape has not been selected yet.
+func (g *Gemm) LastChoice(m, k, n int) int { return g.b.LastChoice(OpGEMM, m, k, n) }
 
-// CacheStats reports (hits, misses) of the repeated-shape prediction cache.
-func (g *Gemm) CacheStats() (hits, misses int64) { return g.eng.Cache().Stats() }
-
-func opDimsF32(a *MatrixF32, transA bool, b *MatrixF32, transB bool) (m, n, k int) {
-	m, k = a.Rows, a.Cols
-	if transA {
-		m, k = a.Cols, a.Rows
-	}
-	n = b.Cols
-	if transB {
-		n = b.Rows
-	}
-	return m, n, k
-}
+// CacheStats reports (hits, misses) of the library's shared decision cache.
+func (g *Gemm) CacheStats() (hits, misses int64) { return g.b.CacheStats() }

@@ -84,12 +84,16 @@ type ctxBufs[T float32 | float64] struct {
 	body    func(w int)
 }
 
-// callArgs carries one GEMM or SYRK call's parameters to the team workers.
-// SYRK calls set syrk, leave b unset (B is op(A)ᵀ, read straight from a) and
-// use transA as the single op(A) transpose flag with m = n.
+// callArgs carries one GEMM, SYRK or SYR2K call's parameters to the team
+// workers. Symmetric-update calls set syrk: the worker computes only the
+// lower triangle of C, packing op(b)ᵀ as the B panel straight out of b (for
+// SYRK b = a, so op(A)ᵀ needs no second operand), and mirrors the lower
+// triangle into the upper when mirror is set (SYR2K's first pass leaves it
+// false so the mirror runs once, after the second product).
 type callArgs[T float32 | float64] struct {
 	transA, transB bool
 	syrk           bool
+	mirror         bool
 	alpha, beta    T
 	a, b, c        view[T]
 	m, n, k        int

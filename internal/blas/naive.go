@@ -36,6 +36,40 @@ func NaiveDSYRK(trans bool, alpha float64, a *mat.F64, beta float64, c *mat.F64)
 	naiveSyrk(trans, alpha, av, beta, cv)
 }
 
+// NaiveSSYR2K is the unblocked per-element SYR2K reference: it computes the
+// lower triangle of alpha·(op(A)·op(B)ᵀ + op(B)·op(A)ᵀ) + beta·C serially
+// and mirrors it. The packed SSYR2K is validated against it.
+func NaiveSSYR2K(trans bool, alpha float32, a, b *mat.F32, beta float32, c *mat.F32) {
+	av := view[float32]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float32]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float32]{c.Rows, c.Cols, c.Stride, c.Data}
+	naiveSyr2k(trans, alpha, av, bv, beta, cv)
+}
+
+// NaiveDSYR2K is the double-precision SYR2K reference.
+func NaiveDSYR2K(trans bool, alpha float64, a, b *mat.F64, beta float64, c *mat.F64) {
+	av := view[float64]{a.Rows, a.Cols, a.Stride, a.Data}
+	bv := view[float64]{b.Rows, b.Cols, b.Stride, b.Data}
+	cv := view[float64]{c.Rows, c.Cols, c.Stride, c.Data}
+	naiveSyr2k(trans, alpha, av, bv, beta, cv)
+}
+
+func naiveSyr2k[T float32 | float64](trans bool, alpha T, a, b view[T], beta T, c view[T]) {
+	n, k := opDims(a, trans)
+	for i := 0; i < n; i++ {
+		row := c.data[i*c.stride:]
+		for j := 0; j <= i; j++ {
+			var sum T
+			for p := 0; p < k; p++ {
+				sum += opAt(a, trans, i, p)*opAt(b, trans, j, p) +
+					opAt(b, trans, i, p)*opAt(a, trans, j, p)
+			}
+			row[j] = alpha*sum + beta*row[j]
+		}
+	}
+	mirrorLower(c, 0, n)
+}
+
 func naiveSyrk[T float32 | float64](trans bool, alpha T, a view[T], beta T, c view[T]) {
 	n, k := opDims(a, trans)
 	for i := 0; i < n; i++ {

@@ -124,13 +124,13 @@ func syrkCtx[T float32 | float64](ctx *Context, trans bool, alpha T, a view[T], 
 	bufs := bufsFor[T](ctx)
 	bufs.ensure(threads, mcEff*kcEff, kcEff*ncEff)
 	bufs.args = callArgs[T]{
-		transA: trans,
-		alpha:  alpha, beta: beta,
-		a: a, c: c,
+		transA: trans, transB: trans,
+		alpha: alpha, beta: beta,
+		a: a, b: a, c: c,
 		m: n, n: n, k: k,
 		parts: threads,
 		prm:   prm,
-		syrk:  true,
+		syrk:  true, mirror: true,
 	}
 	ctx.bar.reset(threads)
 	if threads == 1 {
@@ -164,11 +164,13 @@ func syrkWorker[T float32 | float64](ctx *Context, bufs *ctxBufs[T], w int) {
 			kc := min(prm.KC, k-pc)
 			first := pc == 0
 
-			// op(B)(p, j) = op(A)(j, p): flipping the transpose flag makes
-			// packBRange read op(A)ᵀ panels straight out of A.
+			// The B-side operand of the symmetric update is op(b)ᵀ: flipping
+			// the transpose flag makes packBRange read its panels straight
+			// out of b (which is a itself for SYRK, the second operand for
+			// each SYR2K pass).
 			lo := nPanels * w / parts
 			hi := nPanels * (w + 1) / parts
-			packBRange(ar.a, !ar.transA, pc, jc, kc, nc, lo, hi, bufs.packedB, prm.NR)
+			packBRange(ar.b, !ar.transB, pc, jc, kc, nc, lo, hi, bufs.packedB, prm.NR)
 			ctx.bar.wait()
 
 			blo, bhi := syrkBlockRange(n, jc, nc, prm, w, parts)
@@ -190,7 +192,11 @@ func syrkWorker[T float32 | float64](ctx *Context, bufs *ctxBufs[T], w int) {
 	}
 	// The final barrier above published the whole lower triangle; mirror it
 	// band-parallel (writes are disjoint rows of the upper triangle, reads
-	// are the now read-only lower triangle).
+	// are the now read-only lower triangle). SYR2K's first pass skips the
+	// mirror: its lower triangle is only half the update.
+	if !ar.mirror {
+		return
+	}
 	lo, hi := mirrorRange(n, w, parts)
 	mirrorLower(ar.c, lo, hi)
 }

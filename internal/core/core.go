@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/ops"
 	"repro/internal/preprocess"
 	"repro/internal/sampling"
 	"repro/internal/simtime"
@@ -84,6 +85,11 @@ type GatherConfig struct {
 	// (the paper uses 10; §V-B.3).
 	Iters int
 	Seed  int64
+	// Op selects the operation to time. The zero value is ops.GEMM (the
+	// paper's sweep); other ops map each sampled shape through the
+	// registry's canonical triple and require a per-op capable Timer
+	// (simtime.OpTimer — both the Simulator and the RealTimer qualify).
+	Op ops.Op
 }
 
 // meanTimer is implemented by timers that average repetitions natively.
@@ -92,7 +98,7 @@ type meanTimer interface {
 }
 
 // Gather samples NumShapes quasi-random shapes and times each at every
-// candidate thread count.
+// candidate thread count with the configured operation's kernel.
 func Gather(cfg GatherConfig) ([]ShapeTimings, error) {
 	if cfg.Timer == nil {
 		return nil, fmt.Errorf("core: GatherConfig.Timer is nil")
@@ -103,32 +109,66 @@ func Gather(cfg GatherConfig) ([]ShapeTimings, error) {
 	if len(cfg.Candidates) == 0 {
 		return nil, fmt.Errorf("core: no candidate thread counts")
 	}
+	if !cfg.Op.Valid() {
+		return nil, fmt.Errorf("core: unknown op %v", cfg.Op)
+	}
 	if cfg.Iters < 1 {
 		cfg.Iters = 10
 	}
+	measure, err := measureFunc(cfg)
+	if err != nil {
+		return nil, err
+	}
+	canon := cfg.Op.Spec().Canon
 	sampler, err := sampling.NewSampler(cfg.Domain, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]ShapeTimings, 0, cfg.NumShapes)
 	for i := 0; i < cfg.NumShapes; i++ {
-		sh := sampler.Next()
+		sh := canon(sampler.Next())
 		st := ShapeTimings{Shape: sh, Times: make([]CandidateTime, 0, len(cfg.Candidates))}
 		for _, p := range cfg.Candidates {
-			var secs float64
-			if mt, ok := cfg.Timer.(meanTimer); ok {
-				secs = mt.MeasureMean(sh.M, sh.K, sh.N, p, cfg.Iters)
-			} else {
-				for r := 0; r < cfg.Iters; r++ {
-					secs += cfg.Timer.Time(sh.M, sh.K, sh.N, p)
-				}
-				secs /= float64(cfg.Iters)
-			}
-			st.Times = append(st.Times, CandidateTime{Threads: p, Seconds: secs})
+			st.Times = append(st.Times, CandidateTime{Threads: p, Seconds: measure(sh, p)})
 		}
 		out = append(out, st)
 	}
 	return out, nil
+}
+
+// measureFunc resolves the timing closure for the configured op: GEMM keeps
+// the paper's Timer path byte-for-byte, other ops go through the per-op
+// timing interfaces of simtime.
+func measureFunc(cfg GatherConfig) (func(sh sampling.Shape, threads int) float64, error) {
+	if cfg.Op == ops.GEMM {
+		if mt, ok := cfg.Timer.(meanTimer); ok {
+			return func(sh sampling.Shape, p int) float64 {
+				return mt.MeasureMean(sh.M, sh.K, sh.N, p, cfg.Iters)
+			}, nil
+		}
+		return func(sh sampling.Shape, p int) float64 {
+			var secs float64
+			for r := 0; r < cfg.Iters; r++ {
+				secs += cfg.Timer.Time(sh.M, sh.K, sh.N, p)
+			}
+			return secs / float64(cfg.Iters)
+		}, nil
+	}
+	if mt, ok := cfg.Timer.(simtime.MeanOpTimer); ok {
+		return func(sh sampling.Shape, p int) float64 {
+			return mt.MeasureMeanOp(cfg.Op, sh.M, sh.K, sh.N, p, cfg.Iters)
+		}, nil
+	}
+	if ot, ok := cfg.Timer.(simtime.OpTimer); ok {
+		return func(sh sampling.Shape, p int) float64 {
+			var secs float64
+			for r := 0; r < cfg.Iters; r++ {
+				secs += ot.TimeOp(cfg.Op, sh.M, sh.K, sh.N, p)
+			}
+			return secs / float64(cfg.Iters)
+		}, nil
+	}
+	return nil, fmt.Errorf("core: timer %T cannot time op %v", cfg.Timer, cfg.Op)
 }
 
 // Records flattens shape timings into per-(shape, threads) training records.
@@ -142,17 +182,15 @@ func Records(data []ShapeTimings) []features.Record {
 	return recs
 }
 
-// Library is the deployable ADSALA artefact: a preprocessing pipeline, a
-// trained runtime-prediction model, and the candidate thread counts to rank.
-type Library struct {
-	Platform  string
-	ModelKind string
-	Model     ml.Regressor
-	Pipeline  *preprocess.Pipeline
+// OpModel is one operation's trained artefact: the preprocessing pipeline
+// and runtime-prediction regressor of Fig 2, plus bookkeeping.
+type OpModel struct {
+	Kind     string
+	Model    ml.Regressor
+	Pipeline *preprocess.Pipeline
 	// Columns restricts the Table II feature set (nil = all features); used
 	// by the feature-set ablation.
 	Columns     []string
-	Candidates  []int
 	EvalSeconds float64 // measured model-evaluation latency per selection
 
 	colOnce sync.Once
@@ -160,28 +198,28 @@ type Library struct {
 }
 
 // featureIndices resolves Columns into indices of features.Columns().
-func (l *Library) featureIndices() []int {
-	l.colOnce.Do(func() {
-		if len(l.Columns) == 0 {
+func (m *OpModel) featureIndices() []int {
+	m.colOnce.Do(func() {
+		if len(m.Columns) == 0 {
 			return
 		}
 		all := features.Columns()
-		for _, want := range l.Columns {
+		for _, want := range m.Columns {
 			for i, c := range all {
 				if c == want {
-					l.colIdx = append(l.colIdx, i)
+					m.colIdx = append(m.colIdx, i)
 					break
 				}
 			}
 		}
 	})
-	return l.colIdx
+	return m.colIdx
 }
 
 // rawRow builds the (possibly column-restricted) raw feature row.
-func (l *Library) rawRow(m, k, n, threads int) []float64 {
-	full := features.Row(m, k, n, threads)
-	idx := l.featureIndices()
+func (m *OpModel) rawRow(mm, k, n, threads int) []float64 {
+	full := features.Row(mm, k, n, threads)
+	idx := m.featureIndices()
 	if idx == nil {
 		return full
 	}
@@ -192,48 +230,136 @@ func (l *Library) rawRow(m, k, n, threads int) []float64 {
 	return out
 }
 
-// Scratch holds the reusable buffers of one allocation-free ranking pass.
-// A Scratch is not safe for concurrent use; pool one per goroutine (the
-// serve engine keeps them in a sync.Pool).
+// predictSeconds is the uncached single-configuration estimate.
+func (m *OpModel) predictSeconds(mm, k, n, threads int) float64 {
+	row := m.Pipeline.Transform(m.rawRow(mm, k, n, threads))
+	return m.Pipeline.UntransformTarget(m.Model.Predict(row))
+}
+
+// Library is the deployable ADSALA artefact: a versioned per-operation
+// bundle of trained models plus the candidate thread counts to rank. The
+// GEMM model is always present (the paper's workflow) and serves as the
+// fallback for operations without a model of their own, so a library
+// trained pre-registry keeps answering every op exactly as before.
+type Library struct {
+	Platform   string
+	Candidates []int
+
+	// models is indexed by ops.Op; nil entries fall back to GEMM.
+	models []*OpModel
+}
+
+// SetModel installs the trained model for an operation.
+func (l *Library) SetModel(op ops.Op, m *OpModel) {
+	for len(l.models) <= int(op) {
+		l.models = append(l.models, nil)
+	}
+	l.models[op] = m
+}
+
+// ModelFor returns the operation's model, falling back to the GEMM model
+// when the op has none of its own. Nil only on an empty (untrained) bundle.
+func (l *Library) ModelFor(op ops.Op) *OpModel {
+	if int(op) < len(l.models) && l.models[op] != nil {
+		return l.models[op]
+	}
+	if int(ops.GEMM) < len(l.models) {
+		return l.models[ops.GEMM]
+	}
+	return nil
+}
+
+// HasModel reports whether the op has a model of its own (no fallback).
+func (l *Library) HasModel(op ops.Op) bool {
+	return int(op) < len(l.models) && l.models[op] != nil
+}
+
+// TrainedOps returns the operations with a model of their own, in op order.
+func (l *Library) TrainedOps() []ops.Op {
+	var out []ops.Op
+	for i, m := range l.models {
+		if m != nil {
+			out = append(out, ops.Op(i))
+		}
+	}
+	return out
+}
+
+// ModelKind returns the selected model family of the primary (GEMM) model.
+func (l *Library) ModelKind() string {
+	if m := l.ModelFor(ops.GEMM); m != nil {
+		return m.Kind
+	}
+	return ""
+}
+
+// EvalSeconds returns the measured model-evaluation latency per selection of
+// the primary (GEMM) model.
+func (l *Library) EvalSeconds() float64 {
+	if m := l.ModelFor(ops.GEMM); m != nil {
+		return m.EvalSeconds
+	}
+	return 0
+}
+
+// Scratch holds the reusable buffers of one allocation-free ranking pass,
+// sized for every model in the bundle. A Scratch is not safe for concurrent
+// use; pool one per goroutine (the serve engine keeps them in a sync.Pool).
 type Scratch struct {
 	raw        []float64 // full Table II feature row
 	restricted []float64 // column-restricted row (ablation libraries)
 	buf        []float64 // pipeline output row fed to the model
 }
 
-// NewScratch returns ranking buffers sized for this library.
+// NewScratch returns ranking buffers sized for this library (the maximum
+// over its per-op models, so one scratch serves any op).
 func (l *Library) NewScratch() *Scratch {
+	maxKeep, maxIdx := 0, 0
+	for _, m := range l.models {
+		if m == nil {
+			continue
+		}
+		if n := len(m.Pipeline.Keep); n > maxKeep {
+			maxKeep = n
+		}
+		if n := len(m.featureIndices()); n > maxIdx {
+			maxIdx = n
+		}
+	}
 	s := &Scratch{
 		raw: make([]float64, len(features.Columns())),
-		buf: make([]float64, len(l.Pipeline.Keep)),
+		buf: make([]float64, maxKeep),
 	}
-	if idx := l.featureIndices(); idx != nil {
-		s.restricted = make([]float64, len(idx))
+	if maxIdx > 0 {
+		s.restricted = make([]float64, maxIdx)
 	}
 	return s
 }
 
-// RankInto ranks every candidate thread count by predicted runtime using the
-// scratch buffers and returns the index of the argmin in Candidates. When
-// scores is non-nil it must have len(Candidates) and receives the predicted
-// wall time in seconds for each candidate (target untransformed). The
-// library itself is read-only here, so concurrent calls with distinct
-// scratches are safe.
-func (l *Library) RankInto(m, k, n int, s *Scratch, scores []float64) int {
+// RankOpInto ranks every candidate thread count by the op's predicted
+// runtime using the scratch buffers and returns the index of the argmin in
+// Candidates. When scores is non-nil it must have len(Candidates) and
+// receives the predicted wall time in seconds for each candidate (target
+// untransformed). The library itself is read-only here, so concurrent calls
+// with distinct scratches are safe.
+func (l *Library) RankOpInto(op ops.Op, m, k, n int, s *Scratch, scores []float64) int {
+	mod := l.ModelFor(op)
+	idx := mod.featureIndices()
+	buf := s.buf[:len(mod.Pipeline.Keep)]
 	bestIdx, bt := 0, 0.0
 	for i, cand := range l.Candidates {
 		features.RowInto(m, k, n, cand, s.raw)
 		row := s.raw
-		if idx := l.featureIndices(); idx != nil {
+		if idx != nil {
+			row = s.restricted[:len(idx)]
 			for j, jj := range idx {
-				s.restricted[j] = s.raw[jj]
+				row[j] = s.raw[jj]
 			}
-			row = s.restricted
 		}
-		l.Pipeline.TransformInto(row, s.buf)
-		pred := l.Model.Predict(s.buf)
+		mod.Pipeline.TransformInto(row, buf)
+		pred := mod.Model.Predict(buf)
 		if scores != nil {
-			scores[i] = l.Pipeline.UntransformTarget(pred)
+			scores[i] = mod.Pipeline.UntransformTarget(pred)
 		}
 		if i == 0 || pred < bt {
 			bestIdx, bt = i, pred
@@ -242,17 +368,32 @@ func (l *Library) RankInto(m, k, n int, s *Scratch, scores []float64) int {
 	return bestIdx
 }
 
-// OptimalThreads ranks every candidate thread count by predicted runtime and
-// returns the argmin (§IV-A). This is the uncached path; use a Predictor or
-// the serve engine on hot loops.
-func (l *Library) OptimalThreads(m, k, n int) int {
-	return l.Candidates[l.RankInto(m, k, n, l.NewScratch(), nil)]
+// RankInto is RankOpInto for the primary GEMM model.
+func (l *Library) RankInto(m, k, n int, s *Scratch, scores []float64) int {
+	return l.RankOpInto(ops.GEMM, m, k, n, s, scores)
 }
 
-// PredictSeconds returns the model's runtime estimate for one configuration.
+// OptimalThreadsOp ranks every candidate thread count by the op's predicted
+// runtime and returns the argmin (§IV-A). This is the uncached path; use
+// the serve engine on hot loops.
+func (l *Library) OptimalThreadsOp(op ops.Op, m, k, n int) int {
+	return l.Candidates[l.RankOpInto(op, m, k, n, l.NewScratch(), nil)]
+}
+
+// OptimalThreads is OptimalThreadsOp for GEMM.
+func (l *Library) OptimalThreads(m, k, n int) int {
+	return l.OptimalThreadsOp(ops.GEMM, m, k, n)
+}
+
+// PredictOpSeconds returns the op model's runtime estimate for one
+// configuration.
+func (l *Library) PredictOpSeconds(op ops.Op, m, k, n, threads int) float64 {
+	return l.ModelFor(op).predictSeconds(m, k, n, threads)
+}
+
+// PredictSeconds is PredictOpSeconds for GEMM.
 func (l *Library) PredictSeconds(m, k, n, threads int) float64 {
-	row := l.Pipeline.Transform(l.rawRow(m, k, n, threads))
-	return l.Pipeline.UntransformTarget(l.Model.Predict(row))
+	return l.PredictOpSeconds(ops.GEMM, m, k, n, threads)
 }
 
 // Predictor is the runtime-side wrapper (Fig 3): it remembers the last GEMM

@@ -172,12 +172,12 @@ func TestTrainEndToEnd(t *testing.T) {
 		t.Errorf("XGB RMSE %v not below linear %v", rmse["xgb"], rmse["linear"])
 	}
 	// The selected library must beat doing nothing (estimated mean > 1).
-	if res.Library == nil || res.Library.EvalSeconds < 0 {
+	if res.Library == nil || res.Library.EvalSeconds() < 0 {
 		t.Fatal("missing library")
 	}
-	best, _ := SpecByKind(DefaultModels(1, true), res.Library.ModelKind)
+	best, _ := SpecByKind(DefaultModels(1, true), res.Library.ModelKind())
 	if best.Kind == "" {
-		t.Errorf("selected kind %q not among specs", res.Library.ModelKind)
+		t.Errorf("selected kind %q not among specs", res.Library.ModelKind())
 	}
 	// Report renders all rows.
 	txt := RenderReport(res.Reports)
@@ -269,7 +269,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Platform != res.Library.Platform || back.ModelKind != res.Library.ModelKind {
+	if back.Platform != res.Library.Platform || back.ModelKind() != res.Library.ModelKind() {
 		t.Errorf("metadata changed: %+v", back)
 	}
 	for _, sh := range [][3]int{{64, 64, 64}, {1000, 500, 2000}, {4096, 64, 64}} {

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"testing"
+
+	"repro/internal/ops"
 )
 
 func TestDirectThreadModel(t *testing.T) {
@@ -69,7 +71,7 @@ func TestLibraryColumnsRestriction(t *testing.T) {
 	if got := sub.Library.OptimalThreads(500, 500, 500); got < 1 || got > 96 {
 		t.Errorf("restricted library choice %d", got)
 	}
-	if len(sub.Library.Pipeline.InputCols) != 5 {
-		t.Errorf("pipeline sees %d cols, want 5", len(sub.Library.Pipeline.InputCols))
+	if len(sub.Library.ModelFor(ops.GEMM).Pipeline.InputCols) != 5 {
+		t.Errorf("pipeline sees %d cols, want 5", len(sub.Library.ModelFor(ops.GEMM).Pipeline.InputCols))
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/ml/tune"
+	"repro/internal/ops"
 	"repro/internal/preprocess"
 	"repro/internal/tabulate"
 )
@@ -31,6 +32,11 @@ type TrainConfig struct {
 	Preproc   preprocess.Options
 	Models    []ModelSpec
 	Seed      int64
+	// Ops lists the operations to gather timings for and train per-op
+	// models on (§VII future work: ML thread selection beyond GEMM). Empty
+	// means GEMM only. GEMM is always trained — it is the primary model and
+	// the fallback for operations without one of their own.
+	Ops []ops.Op
 }
 
 // DefaultTrainConfig assembles the paper's settings around a gather config.
@@ -49,6 +55,9 @@ func DefaultTrainConfig(g GatherConfig, platform string, referenceThreads int) T
 
 // ModelReport is one row of Table III/IV.
 type ModelReport struct {
+	// Op is the wire name of the operation the row was trained for
+	// ("gemm", "syrk", ...).
+	Op         string
 	Name       string
 	Kind       string
 	GridChoice string
@@ -64,25 +73,73 @@ type ModelReport struct {
 // TrainResult is the outcome of the installation workflow.
 type TrainResult struct {
 	Library *Library
+	// Reports is the primary (GEMM) model comparison.
 	Reports []ModelReport
-	// Data and TestIdx expose the gathered sweep and the held-out shape
-	// indices so experiments can reuse them without re-timing.
+	// OpReports holds the comparison per trained operation (GEMM included).
+	OpReports map[ops.Op][]ModelReport
+	// Data and TestIdx expose the GEMM sweep and its held-out shape indices
+	// so experiments can reuse them without re-timing; OpData holds every
+	// op's sweep.
 	Data    []ShapeTimings
 	TestIdx []int
+	OpData  map[ops.Op][]ShapeTimings
 }
 
-// Train executes the installation workflow of Fig 2 end to end and returns
-// the deployable Library plus the model-comparison report.
-func Train(cfg TrainConfig) (*TrainResult, error) {
-	data, err := Gather(cfg.Gather)
-	if err != nil {
-		return nil, err
+// trainOps normalises cfg.Ops: GEMM first and exactly once, order of the
+// rest preserved.
+func trainOps(cfg TrainConfig) []ops.Op {
+	out := []ops.Op{ops.GEMM}
+	for _, op := range cfg.Ops {
+		dup := false
+		for _, have := range out {
+			if op == have {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, op)
+		}
 	}
-	return TrainOnData(cfg, data)
+	return out
 }
 
-// TrainOnData runs the workflow on pre-gathered timings (used by experiments
-// that share one gather across several studies).
+// Train executes the installation workflow of Fig 2 end to end — once per
+// requested operation — and returns the deployable per-op Library bundle
+// plus the model-comparison reports.
+func Train(cfg TrainConfig) (*TrainResult, error) {
+	res := &TrainResult{
+		OpReports: make(map[ops.Op][]ModelReport),
+		OpData:    make(map[ops.Op][]ShapeTimings),
+	}
+	lib := &Library{Platform: cfg.Platform}
+	for _, op := range trainOps(cfg) {
+		g := cfg.Gather
+		g.Op = op
+		data, err := Gather(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: gather %v: %w", op, err)
+		}
+		model, reports, testIdx, err := trainSweep(cfg, op, data, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: train %v: %w", op, err)
+		}
+		lib.SetModel(op, model)
+		res.OpReports[op] = reports
+		res.OpData[op] = data
+		if op == ops.GEMM {
+			lib.Candidates = candidatesOf(data[0])
+			res.Reports = reports
+			res.Data = data
+			res.TestIdx = testIdx
+		}
+	}
+	res.Library = lib
+	return res, nil
+}
+
+// TrainOnData runs the workflow on a pre-gathered GEMM sweep (used by
+// experiments that share one gather across several studies).
 func TrainOnData(cfg TrainConfig, data []ShapeTimings) (*TrainResult, error) {
 	return TrainOnDataWithColumns(cfg, data, nil)
 }
@@ -91,17 +148,37 @@ func TrainOnData(cfg TrainConfig, data []ShapeTimings) (*TrainResult, error) {
 // Table II feature columns (nil means all). Used by the feature-set
 // ablation.
 func TrainOnDataWithColumns(cfg TrainConfig, data []ShapeTimings, cols []string) (*TrainResult, error) {
+	model, reports, testIdx, err := trainSweep(cfg, ops.GEMM, data, cols)
+	if err != nil {
+		return nil, err
+	}
+	lib := &Library{Platform: cfg.Platform, Candidates: candidatesOf(data[0])}
+	lib.SetModel(ops.GEMM, model)
+	return &TrainResult{
+		Library:   lib,
+		Reports:   reports,
+		OpReports: map[ops.Op][]ModelReport{ops.GEMM: reports},
+		Data:      data,
+		TestIdx:   testIdx,
+		OpData:    map[ops.Op][]ShapeTimings{ops.GEMM: data},
+	}, nil
+}
+
+// trainSweep runs preprocess → tune → fit → evaluate → select on one op's
+// gathered sweep and returns the selected OpModel, the full model
+// comparison, and the held-out shape indices.
+func trainSweep(cfg TrainConfig, op ops.Op, data []ShapeTimings, cols []string) (*OpModel, []ModelReport, []int, error) {
 	if len(data) < 10 {
-		return nil, fmt.Errorf("core: %d shapes is too few to train on", len(data))
+		return nil, nil, nil, fmt.Errorf("core: %d shapes is too few to train on", len(data))
 	}
 	if cfg.TestFrac <= 0 || cfg.TestFrac >= 1 {
-		return nil, fmt.Errorf("core: TestFrac %v outside (0,1)", cfg.TestFrac)
+		return nil, nil, nil, fmt.Errorf("core: TestFrac %v outside (0,1)", cfg.TestFrac)
 	}
 	if len(cfg.Models) == 0 {
-		return nil, fmt.Errorf("core: no model specs")
+		return nil, nil, nil, fmt.Errorf("core: no model specs")
 	}
 	if _, ok := data[0].TimeAt(cfg.ReferenceThreads); !ok {
-		return nil, fmt.Errorf("core: reference thread count %d not among timed candidates", cfg.ReferenceThreads)
+		return nil, nil, nil, fmt.Errorf("core: reference thread count %d not among timed candidates", cfg.ReferenceThreads)
 	}
 	if cfg.TuneFolds < 2 {
 		cfg.TuneFolds = 3
@@ -129,12 +206,12 @@ func TrainOnDataWithColumns(cfg TrainConfig, data []ShapeTimings, cols []string)
 	if cols != nil {
 		var err error
 		if trainSet, err = trainSet.Select(cols); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 	pipe, transformed, err := preprocess.Fit(trainSet, cfg.Preproc)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	// Transformed test rows for RMSE.
@@ -142,7 +219,7 @@ func TrainOnDataWithColumns(cfg TrainConfig, data []ShapeTimings, cols []string)
 	testSet := features.Build(testRecs)
 	if cols != nil {
 		if testSet, err = testSet.Select(cols); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 	testX := make([][]float64, len(testRecs))
@@ -157,26 +234,26 @@ func TrainOnDataWithColumns(cfg TrainConfig, data []ShapeTimings, cols []string)
 	}
 
 	// --- Tune, fit and evaluate every candidate family ---------------------
+	candidates := candidatesOf(data[0])
 	var reports []ModelReport
 	models := make(map[string]ml.Regressor, len(cfg.Models))
 	for _, spec := range cfg.Models {
 		grid, err := tune.GridSearch(spec.Grid, transformed.X, transformed.Y, cfg.TuneFolds, cfg.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("core: tuning %s: %w", spec.Name, err)
+			return nil, nil, nil, fmt.Errorf("core: tuning %s: %w", spec.Name, err)
 		}
 		model := grid.Best.Factory()
 		if err := model.Fit(transformed.X, transformed.Y); err != nil {
-			return nil, fmt.Errorf("core: fitting %s: %w", spec.Name, err)
+			return nil, nil, nil, fmt.Errorf("core: fitting %s: %w", spec.Name, err)
 		}
 		models[spec.Kind] = model
 
 		rmse := ml.RMSE(ml.PredictBatch(model, testX), testY)
-		lib := &Library{
-			Platform: cfg.Platform, ModelKind: spec.Kind, Model: model,
-			Pipeline: pipe, Candidates: candidatesOf(data[0]), Columns: cols,
-		}
-		evalSec := measureEvalLatency(lib, testData)
-		idealMean, idealAgg := speedups(lib, testData, cfg.ReferenceThreads, 0)
+		probe := probeLibrary(cfg.Platform, candidates, op, &OpModel{
+			Kind: spec.Kind, Model: model, Pipeline: pipe, Columns: cols,
+		})
+		evalSec := measureEvalLatency(probe, op, testData)
+		idealMean, idealAgg := speedups(probe, op, testData, cfg.ReferenceThreads, 0)
 		// The paper's timing protocol (§V-B.3) runs each shape in a
 		// 10-iteration loop with the §III-C prediction cache active, so one
 		// model evaluation amortises over the loop. Charge the same way.
@@ -184,8 +261,9 @@ func TrainOnDataWithColumns(cfg TrainConfig, data []ShapeTimings, cols []string)
 		if iters < 1 {
 			iters = 10
 		}
-		estMean, estAgg := speedups(lib, testData, cfg.ReferenceThreads, evalSec/float64(iters))
+		estMean, estAgg := speedups(probe, op, testData, cfg.ReferenceThreads, evalSec/float64(iters))
 		reports = append(reports, ModelReport{
+			Op:   op.String(),
 			Name: spec.Name, Kind: spec.Kind, GridChoice: grid.Best.Label,
 			RMSE:      rmse,
 			IdealMean: idealMean, IdealAgg: idealAgg,
@@ -212,22 +290,27 @@ func TrainOnDataWithColumns(cfg TrainConfig, data []ShapeTimings, cols []string)
 	}
 
 	best := reports[bestIdx]
-	lib := &Library{
-		Platform:    cfg.Platform,
-		ModelKind:   best.Kind,
+	return &OpModel{
+		Kind:        best.Kind,
 		Model:       models[best.Kind],
 		Pipeline:    pipe,
-		Candidates:  candidatesOf(data[0]),
 		Columns:     cols,
 		EvalSeconds: best.EvalMicros / 1e6,
-	}
-	return &TrainResult{Library: lib, Reports: reports, Data: data, TestIdx: testIdx}, nil
+	}, reports, testIdx, nil
+}
+
+// probeLibrary builds a throwaway single-model bundle for candidate-model
+// evaluation during training.
+func probeLibrary(platform string, candidates []int, op ops.Op, m *OpModel) *Library {
+	lib := &Library{Platform: platform, Candidates: candidates}
+	lib.SetModel(op, m)
+	return lib
 }
 
 // speedups evaluates the model's thread choices on held-out shapes against
 // the reference thread count, returning mean and aggregate speedups. evalSec
 // is added to the ADSALA time per call (0 for the "ideal" columns).
-func speedups(lib *Library, test []ShapeTimings, refThreads int, evalSec float64) (mean, agg float64) {
+func speedups(lib *Library, op ops.Op, test []ShapeTimings, refThreads int, evalSec float64) (mean, agg float64) {
 	var sumRatio, sumRef, sumADSALA float64
 	n := 0
 	for _, st := range test {
@@ -235,7 +318,7 @@ func speedups(lib *Library, test []ShapeTimings, refThreads int, evalSec float64
 		if !ok {
 			continue
 		}
-		choice := lib.OptimalThreads(st.Shape.M, st.Shape.K, st.Shape.N)
+		choice := lib.OptimalThreadsOp(op, st.Shape.M, st.Shape.K, st.Shape.N)
 		chosen, ok := st.TimeAt(choice)
 		if !ok {
 			continue
@@ -255,7 +338,7 @@ func speedups(lib *Library, test []ShapeTimings, refThreads int, evalSec float64
 // measureEvalLatency times the full thread-selection (pipeline transform +
 // model evaluation across every candidate) on this host, averaged over a
 // sample of shapes — the t_eval of §IV-D.
-func measureEvalLatency(lib *Library, test []ShapeTimings) float64 {
+func measureEvalLatency(lib *Library, op ops.Op, test []ShapeTimings) float64 {
 	probe := test
 	if len(probe) > 32 {
 		probe = probe[:32]
@@ -265,13 +348,13 @@ func measureEvalLatency(lib *Library, test []ShapeTimings) float64 {
 	}
 	// Warm up code paths so the measurement excludes first-call effects.
 	for _, st := range probe {
-		lib.OptimalThreads(st.Shape.M, st.Shape.K, st.Shape.N)
+		lib.OptimalThreadsOp(op, st.Shape.M, st.Shape.K, st.Shape.N)
 	}
 	start := time.Now()
 	const reps = 3
 	for r := 0; r < reps; r++ {
 		for _, st := range probe {
-			lib.OptimalThreads(st.Shape.M, st.Shape.K, st.Shape.N)
+			lib.OptimalThreadsOp(op, st.Shape.M, st.Shape.K, st.Shape.N)
 		}
 	}
 	return time.Since(start).Seconds() / float64(reps*len(probe))

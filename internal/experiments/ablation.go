@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/ops"
 	"repro/internal/preprocess"
 	"repro/internal/stats"
 	"repro/internal/tabulate"
@@ -33,9 +34,9 @@ func AblationPreproc(w io.Writer, lab *Lab) error {
 	tb := tabulate.New("pipeline", "features kept", "est mean speedup", "est agg speedup")
 	fullXGB := reportFor(full.Reports, "xgb")
 	bareXGB := reportFor(bare.Reports, "xgb")
-	tb.Row("full (YJ+LOF+corr prune)", tabulate.D(len(full.Library.Pipeline.Keep)),
+	tb.Row("full (YJ+LOF+corr prune)", tabulate.D(len(full.Library.ModelFor(ops.GEMM).Pipeline.Keep)),
 		tabulate.F(fullXGB.EstMean, 2), tabulate.F(fullXGB.EstAgg, 2))
-	tb.Row("no LOF / no pruning", tabulate.D(len(bare.Library.Pipeline.Keep)),
+	tb.Row("no LOF / no pruning", tabulate.D(len(bare.Library.ModelFor(ops.GEMM).Pipeline.Keep)),
 		tabulate.F(bareXGB.EstMean, 2), tabulate.F(bareXGB.EstAgg, 2))
 	fmt.Fprint(w, tb.String())
 	return nil

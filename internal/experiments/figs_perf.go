@@ -91,7 +91,7 @@ func figMemoryBuckets(w io.Writer, lab *Lab, platform string) error {
 		}
 		buckets[b].flops += float64(st.Shape.Flops())
 		buckets[b].tBase += ref
-		buckets[b].tML += chosen + res.Library.EvalSeconds/float64(lab.Scale.Iters)
+		buckets[b].tML += chosen + res.Library.EvalSeconds()/float64(lab.Scale.Iters)
 		buckets[b].n++
 	}
 	fmt.Fprintf(w, "Aggregate GFLOPS (FP32) by GEMM memory footprint — %s (%s baseline at %d threads)\n",
@@ -153,7 +153,7 @@ func figPredesigned(w io.Writer, lab *Lab, platform string) error {
 		sh := pt.Shape
 		tDef := sim.MeasureMean(sh.M, sh.K, sh.N, max, lab.Scale.Iters)
 		ml := res.Library.OptimalThreads(sh.M, sh.K, sh.N)
-		tML := sim.MeasureMean(sh.M, sh.K, sh.N, ml, lab.Scale.Iters) + res.Library.EvalSeconds/float64(lab.Scale.Iters)
+		tML := sim.MeasureMean(sh.M, sh.K, sh.N, ml, lab.Scale.Iters) + res.Library.EvalSeconds()/float64(lab.Scale.Iters)
 		sp := tDef / tML
 		if sp > bestSpeedup {
 			bestSpeedup = sp

@@ -34,7 +34,7 @@ func modelTable(w io.Writer, lab *Lab, platform, paperNote string) error {
 	fmt.Fprintf(w, "Table for %s (<= 500 MB, %d shapes, reference %d threads)\n",
 		platform, lab.Scale.TrainShapes, p.RefThreads)
 	fmt.Fprint(w, core.RenderReport(res.Reports))
-	fmt.Fprintf(w, "selected model: %s\n%s\n", res.Library.ModelKind, paperNote)
+	fmt.Fprintf(w, "selected model: %s\n%s\n", res.Library.ModelKind(), paperNote)
 	return nil
 }
 
@@ -46,7 +46,7 @@ func speedupRow(lib *core.Library, holdout []core.ShapeTimings, refThreads, iter
 	if iters < 1 {
 		iters = 1
 	}
-	evalSec := lib.EvalSeconds / float64(iters)
+	evalSec := lib.EvalSeconds() / float64(iters)
 	var out []float64
 	for _, st := range holdout {
 		ref, ok := st.TimeAt(refThreads)

@@ -101,16 +101,24 @@ func (c *Client) PredictBatch(shapes []sampling.Shape) ([]int, error) {
 
 // PredictBatchOp is PredictBatch under an explicit operation kind.
 func (c *Client) PredictBatchOp(op Op, shapes []sampling.Shape) ([]int, error) {
-	req := BatchRequest{Shapes: make([]PredictRequest, len(shapes))}
+	reqs := make([]PredictRequest, len(shapes))
 	for i, sh := range shapes {
-		req.Shapes[i] = PredictRequest{M: sh.M, K: sh.K, N: sh.N, Op: op.String()}
+		reqs[i] = PredictRequest{M: sh.M, K: sh.K, N: sh.N, Op: op.String()}
 	}
+	return c.PredictBatchRequests(reqs)
+}
+
+// PredictBatchRequests sends a mixed-operation batch in one round trip:
+// each request names its own op (empty = GEMM). Answers align with the
+// request order — the server splits per op and maps every decision back to
+// its slot.
+func (c *Client) PredictBatchRequests(reqs []PredictRequest) ([]int, error) {
 	var resp BatchResponse
-	if err := c.do(http.MethodPost, "/batch", req, &resp); err != nil {
+	if err := c.do(http.MethodPost, "/batch", BatchRequest{Shapes: reqs}, &resp); err != nil {
 		return nil, err
 	}
-	if len(resp.Threads) != len(shapes) {
-		return nil, fmt.Errorf("serve: batch answered %d decisions for %d shapes", len(resp.Threads), len(shapes))
+	if len(resp.Threads) != len(reqs) {
+		return nil, fmt.Errorf("serve: batch answered %d decisions for %d shapes", len(resp.Threads), len(reqs))
 	}
 	return resp.Threads, nil
 }

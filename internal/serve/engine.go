@@ -30,10 +30,11 @@ type Options struct {
 // pooled scratch buffers (no per-call allocation in steady state), and
 // batches fan out across a bounded worker pool. Safe for concurrent use.
 //
-// Operations share the library's shape-based ranking model (the paper
-// trains on GEMM timings only); the op keys the decision cache and the
-// serving counters so per-operation models can slot in without changing
-// callers.
+// Every ranking goes through the library's per-op model bundle: operations
+// with a trained model of their own (e.g. SYRK after Train(Ops:
+// [gemm, syrk])) rank with it, others fall back to the primary GEMM model —
+// and the op always keys the decision cache, so decisions never alias
+// across operations either way.
 type Engine struct {
 	lib     *core.Library
 	cache   *Cache
@@ -79,15 +80,15 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // serving repeated shapes from the sharded cache.
 func (e *Engine) Predict(m, k, n int) int { return e.PredictOp(OpGEMM, m, k, n) }
 
-// PredictOp is Predict for an explicit operation kind: the decision is
-// cached under (op, shape). SYRK callers pass the (n, k, n) triple of the
-// equivalent output shape.
+// PredictOp is Predict for an explicit operation kind: the decision ranks
+// with the op's model and is cached under (op, shape). SYRK and SYR2K
+// callers pass the (n, k, n) triple of the equivalent output shape.
 func (e *Engine) PredictOp(op Op, m, k, n int) int {
 	e.predictions.Add(1)
 	if threads, ok := e.cache.Get(op, m, k, n); ok {
 		return threads
 	}
-	threads := e.rank(m, k, n, nil)
+	threads := e.rank(op, m, k, n, nil)
 	e.cache.Put(op, m, k, n, threads)
 	return threads
 }
@@ -98,13 +99,13 @@ func (e *Engine) CachedChoice(op Op, m, k, n int) (threads int, ok bool) {
 	return e.cache.Peek(op, m, k, n)
 }
 
-// rank runs one full candidate ranking with a pooled scratch, recording the
-// evaluation latency. scores, when non-nil, receives per-candidate
-// predicted seconds (len(Candidates())).
-func (e *Engine) rank(m, k, n int, scores []float64) int {
+// rank runs one full candidate ranking with the op's model and a pooled
+// scratch, recording the evaluation latency. scores, when non-nil, receives
+// per-candidate predicted seconds (len(Candidates())).
+func (e *Engine) rank(op Op, m, k, n int, scores []float64) int {
 	s := e.scratch.Get().(*core.Scratch)
 	start := time.Now()
-	best := e.lib.Candidates[e.lib.RankInto(m, k, n, s, scores)]
+	best := e.lib.Candidates[e.lib.RankOpInto(op, m, k, n, s, scores)]
 	e.evalNanos.Add(time.Since(start).Nanoseconds())
 	e.evals.Add(1)
 	e.scratch.Put(s)
@@ -130,7 +131,7 @@ func (e *Engine) RankOp(op Op, m, k, n int) (scores []float64, best int) {
 	e.predictions.Add(1)
 	e.cache.misses.Add(1)
 	scores = make([]float64, len(e.lib.Candidates))
-	best = e.rank(m, k, n, scores)
+	best = e.rank(op, m, k, n, scores)
 	e.cache.Put(op, m, k, n, best)
 	return scores, best
 }

@@ -1,49 +1,28 @@
 package serve
 
-import "fmt"
+import "repro/internal/ops"
 
 // Op identifies the BLAS-3 operation a thread-selection decision applies to.
-// The paper trains and serves GEMM only; its §VII future work — extending
-// ML-driven thread selection to other BLAS operations — needs decisions
-// keyed per operation, because the cost profile (and eventually the model)
-// differs per op even for identical shape triples. Op is part of the cache
-// key, so a SYRK decision never aliases a GEMM decision.
-type Op uint8
+// It is the operation registry's ops.Op re-exported: the serving layer keys
+// its decision cache and batch splits by op but holds no operation knowledge
+// of its own — wire names, parsing, shape canonicalisation and the op set
+// all come from the registry table (internal/ops), so registering a new
+// operation needs no serving-layer change at all.
+type Op = ops.Op
 
+// Operation kinds, re-exported from the registry for serve's callers.
 const (
 	// OpGEMM is the general matrix multiply C ← αAB + βC (m×k×n).
-	OpGEMM Op = iota
+	OpGEMM = ops.GEMM
 	// OpSYRK is the symmetric rank-k update C ← αAAᵀ + βC; its shape triple
 	// is (n, k, n).
-	OpSYRK
-
-	// numOps must stay last in the iota sequence: Valid() and the per-op
-	// batch split in the server size arrays with it.
-	numOps
+	OpSYRK = ops.SYRK
+	// OpSYR2K is the symmetric rank-2k update C ← α(ABᵀ + BAᵀ) + βC; its
+	// shape triple is (n, k, n).
+	OpSYR2K = ops.SYR2K
 )
 
-// String returns the wire name of the op ("gemm", "syrk").
-func (op Op) String() string {
-	switch op {
-	case OpGEMM:
-		return "gemm"
-	case OpSYRK:
-		return "syrk"
-	}
-	return fmt.Sprintf("op(%d)", uint8(op))
-}
-
-// Valid reports whether op is a known operation.
-func (op Op) Valid() bool { return op < numOps }
-
-// ParseOp maps a wire name to an Op. The empty string selects OpGEMM so
-// pre-op clients (and hand-written queries) keep working unchanged.
-func ParseOp(s string) (Op, error) {
-	switch s {
-	case "", "gemm":
-		return OpGEMM, nil
-	case "syrk":
-		return OpSYRK, nil
-	}
-	return 0, fmt.Errorf("serve: unknown op %q (want \"gemm\" or \"syrk\")", s)
-}
+// ParseOp maps a wire name to an Op via the registry. The empty string
+// selects OpGEMM so pre-op clients (and hand-written queries) keep working
+// unchanged.
+func ParseOp(s string) (Op, error) { return ops.Parse(s) }

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"encoding/json"
 	"net/http"
+	"strings"
 	"testing"
 
+	"repro/internal/ops"
 	"repro/internal/sampling"
 )
 
@@ -11,7 +14,7 @@ func TestOpParseAndString(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want Op
-	}{{"", OpGEMM}, {"gemm", OpGEMM}, {"syrk", OpSYRK}} {
+	}{{"", OpGEMM}, {"gemm", OpGEMM}, {"syrk", OpSYRK}, {"syr2k", OpSYR2K}} {
 		got, err := ParseOp(tc.in)
 		if err != nil || got != tc.want {
 			t.Errorf("ParseOp(%q) = (%v, %v), want %v", tc.in, got, err, tc.want)
@@ -20,10 +23,10 @@ func TestOpParseAndString(t *testing.T) {
 	if _, err := ParseOp("trsm"); err == nil {
 		t.Error("unknown op should error")
 	}
-	if OpGEMM.String() != "gemm" || OpSYRK.String() != "syrk" {
-		t.Errorf("op names: %q %q", OpGEMM, OpSYRK)
+	if OpGEMM.String() != "gemm" || OpSYRK.String() != "syrk" || OpSYR2K.String() != "syr2k" {
+		t.Errorf("op names: %q %q %q", OpGEMM, OpSYRK, OpSYR2K)
 	}
-	if !OpGEMM.Valid() || !OpSYRK.Valid() || Op(numOps).Valid() {
+	if !OpGEMM.Valid() || !OpSYR2K.Valid() || Op(ops.NumOps()).Valid() {
 		t.Error("Valid() wrong")
 	}
 }
@@ -211,4 +214,57 @@ func TestServerOpField(t *testing.T) {
 // bodies the typed client API does not express).
 func clientDo(c *Client, path string, body, out any) error {
 	return c.do(http.MethodPost, path, body, out)
+}
+
+// TestClientMixedOpBatchRoundTrip drives a three-op interleaved batch
+// through serve.Client: the per-op split must preserve request order, every
+// answer must match the op's own uncached ranking, and an unknown op name
+// must surface as a 400 with a JSON error body.
+func TestClientMixedOpBatchRoundTrip(t *testing.T) {
+	srv, ts := testServer(t)
+	client := NewClient(ts.URL, nil)
+	l := srv.Engine().Library()
+
+	rotation := []Op{OpGEMM, OpSYRK, OpSYR2K}
+	shapes := mixedShapes(9)
+	reqs := make([]PredictRequest, len(shapes))
+	for i, sh := range shapes {
+		reqs[i] = PredictRequest{M: sh.M, K: sh.K, N: sh.N, Op: rotation[i%len(rotation)].String()}
+	}
+	got, err := client.PredictBatchRequests(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("batch answered %d of %d", len(got), len(reqs))
+	}
+	for i, r := range reqs {
+		op := rotation[i%len(rotation)]
+		if want := l.OptimalThreadsOp(op, r.M, r.K, r.N); got[i] != want {
+			t.Errorf("slot %d (%s %dx%dx%d): got %d, want %d", i, r.Op, r.M, r.K, r.N, got[i], want)
+		}
+		// Each decision landed under its own op key.
+		if _, ok := srv.Engine().CachedChoice(op, r.M, r.K, r.N); !ok {
+			t.Errorf("slot %d: decision not cached under %s", i, op)
+		}
+	}
+
+	// Unknown op name inside a batch: 400 with a decodable JSON error body.
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`{"shapes":[{"m":8,"k":8,"n":8,"op":"trsm"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown op in batch: HTTP %d, want 400", resp.StatusCode)
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Error == "" {
+		t.Errorf("error body not decodable JSON: (%q, %v)", apiErr.Error, err)
+	}
+	// And through the typed client, the same failure surfaces as an error.
+	if _, err := client.PredictBatchRequests([]PredictRequest{{M: 4, K: 4, N: 4, Op: "nope"}}); err == nil {
+		t.Error("client should surface the unknown-op error")
+	}
 }

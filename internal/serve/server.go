@@ -8,13 +8,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ops"
 	"repro/internal/sampling"
 )
 
 // PredictRequest is the JSON body of POST /predict (GET uses ?m=&k=&n=&op=).
-// Op selects the operation kind ("gemm" or "syrk"); empty means GEMM, so
-// pre-op clients keep working. SYRK shapes pass the (n, k, n) triple of the
-// output.
+// Op selects the operation kind by registry wire name ("gemm", "syrk",
+// "syr2k"); empty means GEMM, so pre-op clients keep working. Symmetric
+// updates pass the (n, k, n) triple of the output shape.
 type PredictRequest struct {
 	M  int    `json:"m"`
 	K  int    `json:"k"`
@@ -94,10 +95,13 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 
 // StatsResponse is the JSON answer of /stats.
 type StatsResponse struct {
-	Platform string                   `json:"platform"`
-	Model    string                   `json:"model"`
-	Engine   Stats                    `json:"engine"`
-	HTTP     map[string]EndpointStats `json:"http"`
+	Platform string `json:"platform"`
+	Model    string `json:"model"`
+	// Models lists the per-op model bundle: wire name → selected model
+	// family, for every op with a trained model of its own.
+	Models map[string]string        `json:"models,omitempty"`
+	Engine Stats                    `json:"engine"`
+	HTTP   map[string]EndpointStats `json:"http"`
 }
 
 // MaxBatchShapes bounds one /batch request (guards against unbounded
@@ -230,13 +234,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch of %d shapes exceeds limit %d", len(req.Shapes), MaxBatchShapes)
 		return
 	}
-	// Mixed-op batches are split into one engine batch per operation (the
-	// dedup and worker fan-out happen per op); slots maps each sub-batch
-	// entry back to its request index.
-	var (
-		shapes [numOps][]sampling.Shape
-		slots  [numOps][]int
-	)
+	// Mixed-op batches are split into one engine batch per registered
+	// operation (the dedup and worker fan-out happen per op); slots maps
+	// each sub-batch entry back to its request index. The split is sized by
+	// the registry, so new ops flow through without touching this handler.
+	shapes := make([][]sampling.Shape, ops.NumOps())
+	slots := make([][]int, ops.NumOps())
 	for i, sh := range req.Shapes {
 		if sh.M < 1 || sh.K < 1 || sh.N < 1 {
 			writeError(w, http.StatusBadRequest, "shape %d: dimensions must be positive, got %dx%dx%d", i, sh.M, sh.K, sh.N)
@@ -251,11 +254,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		slots[op] = append(slots[op], i)
 	}
 	threads := make([]int, len(req.Shapes))
-	for op := Op(0); op < numOps; op++ {
-		if len(shapes[op]) == 0 {
+	for op, batch := range shapes {
+		if len(batch) == 0 {
 			continue
 		}
-		for j, t := range s.engine.PredictBatchOp(op, shapes[op], nil) {
+		for j, t := range s.engine.PredictBatchOp(Op(op), batch, nil) {
 			threads[slots[op][j]] = t
 		}
 	}
@@ -265,9 +268,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	lib := s.engine.Library()
+	models := make(map[string]string)
+	for _, op := range lib.TrainedOps() {
+		models[op.String()] = lib.ModelFor(op).Kind
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Platform: lib.Platform,
-		Model:    lib.ModelKind,
+		Model:    lib.ModelKind(),
+		Models:   models,
 		Engine:   s.engine.Stats(),
 		HTTP: map[string]EndpointStats{
 			"predict": s.predict.snapshot(),
@@ -281,6 +289,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
 		Platform: lib.Platform,
-		Model:    lib.ModelKind,
+		Model:    lib.ModelKind(),
 	})
 }

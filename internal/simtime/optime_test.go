@@ -1,0 +1,60 @@
+package simtime
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/ops"
+)
+
+func TestSimulatorOpTiming(t *testing.T) {
+	s := New(DefaultConfig(machine.Gadi()))
+	const m, k, n, p = 512, 256, 512, 8
+
+	// GEMM delegates: per-op timing must reproduce the paper path exactly.
+	if got, want := s.TimeOp(ops.GEMM, m, k, n, p), s.Time(m, k, n, p); got != want {
+		t.Errorf("TimeOp(gemm) = %v, Time = %v", got, want)
+	}
+	if got, want := s.MeasureMeanOp(ops.GEMM, m, k, n, p, 5), s.MeasureMean(m, k, n, p, 5); got != want {
+		t.Errorf("MeasureMeanOp(gemm) = %v, MeasureMean = %v", got, want)
+	}
+
+	// Cost ordering at a square triple: SYRK does roughly half the GEMM
+	// FLOPs, SYR2K roughly doubles SYRK.
+	g := s.Breakdown(m, k, m, p).Total()
+	sy := s.BreakdownOp(ops.SYRK, m, k, m, p).Total()
+	s2 := s.BreakdownOp(ops.SYR2K, m, k, m, p).Total()
+	if !(sy < g) {
+		t.Errorf("syrk %v not below gemm %v", sy, g)
+	}
+	if !(s2 > sy && s2 > 1.5*sy) {
+		t.Errorf("syr2k %v vs syrk %v, want roughly double", s2, sy)
+	}
+	// SYR2K pays two barrier-phased passes.
+	bg := s.Breakdown(m, k, m, p)
+	b2 := s.BreakdownOp(ops.SYR2K, m, k, m, p)
+	if b2.Sync != 2*bg.Sync {
+		t.Errorf("syr2k sync %v, want 2x gemm %v", b2.Sync, bg.Sync)
+	}
+
+	// Noise is deterministic per (op, config, rep) and distinct across ops.
+	if a, b := s.TimeOpRep(ops.SYRK, m, k, m, p, 1), s.TimeOpRep(ops.SYRK, m, k, m, p, 1); a != b {
+		t.Errorf("syrk noise not reproducible: %v vs %v", a, b)
+	}
+	ratio := s.TimeOpRep(ops.SYRK, m, k, m, p, 0) / s.TimeOpRep(ops.GEMM, m, k, m, p, 0)
+	if ratio <= 0 || ratio >= 1 {
+		t.Errorf("noisy syrk/gemm ratio %v, want in (0,1)", ratio)
+	}
+}
+
+func TestRealTimerOps(t *testing.T) {
+	rt := NewRealTimer(1)
+	for _, op := range ops.All() {
+		if secs := rt.MeasureMeanOp(op, 24, 16, 24, 1, 1); secs <= 0 {
+			t.Errorf("%v measured %v seconds", op, secs)
+		}
+	}
+	if rt.GemmCalls() != int64(ops.NumOps()) {
+		t.Errorf("timed calls = %d, want one per op", rt.GemmCalls())
+	}
+}

@@ -6,31 +6,34 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/blas"
-	"repro/internal/mat"
+	"repro/internal/ops"
 )
 
-// RealTimer measures the pure-Go blas GEMM on the local host with the wall
-// clock. It allocates operands once per distinct shape and reuses them, and
-// averages Iters timing iterations per call — the same loop structure the
-// paper uses for its data collection (§V-B.3).
+// RealTimer measures the pure-Go blas kernels on the local host with the
+// wall clock. Operands are allocated once per distinct (op, shape)
+// configuration through the operation registry's executor binding and
+// reused, and Iters timing iterations are averaged per call — the same loop
+// structure the paper uses for its data collection (§V-B.3).
 //
 // RealTimer exists so the full ADSALA workflow (sample → time → train →
 // select threads) runs end-to-end on real silicon: the quickstart example
 // and integration tests use it with small shapes. The paper-scale
-// experiments use the Simulator.
+// experiments use the Simulator. It answers for every registered BLAS-3
+// operation (OpTimer), so per-op local training needs no extra plumbing.
 type RealTimer struct {
-	// Iters is the number of timed GEMM repetitions to average (default 3).
+	// Iters is the number of timed repetitions to average (default 3).
 	Iters int
 
 	mu    sync.Mutex
-	cache map[[3]int]*operands
+	runs  map[benchKey]func(threads int) error
 	rng   *rand.Rand
 	calls atomic.Int64
 }
 
-type operands struct {
-	a, b, c *mat.F32
+// benchKey identifies one cached executor closure.
+type benchKey struct {
+	op      ops.Op
+	m, k, n int
 }
 
 // NewRealTimer returns a RealTimer averaging iters repetitions.
@@ -40,7 +43,7 @@ func NewRealTimer(iters int) *RealTimer {
 	}
 	return &RealTimer{
 		Iters: iters,
-		cache: make(map[[3]int]*operands),
+		runs:  make(map[benchKey]func(threads int) error),
 		rng:   rand.New(rand.NewSource(42)),
 	}
 }
@@ -48,50 +51,66 @@ func NewRealTimer(iters int) *RealTimer {
 // Time runs the SGEMM threads-wide and returns the mean wall seconds over
 // Iters repetitions.
 func (t *RealTimer) Time(m, k, n, threads int) float64 {
-	return t.MeasureMean(m, k, n, threads, t.Iters)
+	return t.MeasureMeanOp(ops.GEMM, m, k, n, threads, t.Iters)
+}
+
+// TimeOp is Time for an explicit registered operation.
+func (t *RealTimer) TimeOp(op ops.Op, m, k, n, threads int) float64 {
+	return t.MeasureMeanOp(op, m, k, n, threads, t.Iters)
 }
 
 // MeasureMean returns the mean wall seconds of exactly iters timed GEMMs
 // (minimum 1). Implementing the core gather's meanTimer interface keeps the
 // repetition count in one place: without it, Gather would loop Iters times
 // over Time — which itself averages Iters repetitions — running Iters²
-// GEMMs per configuration and silently multiplying the installation-time
-// budget (Iters: 3 meant 9 timed GEMMs per point).
+// kernel calls per configuration and silently multiplying the
+// installation-time budget (Iters: 3 meant 9 timed GEMMs per point).
 func (t *RealTimer) MeasureMean(m, k, n, threads, iters int) float64 {
+	return t.MeasureMeanOp(ops.GEMM, m, k, n, threads, iters)
+}
+
+// MeasureMeanOp returns the mean wall seconds of exactly iters timed calls
+// of the op's registry kernel (minimum 1).
+func (t *RealTimer) MeasureMeanOp(op ops.Op, m, k, n, threads, iters int) float64 {
 	if iters < 1 {
 		iters = 1
 	}
-	ops := t.operandsFor(m, k, n)
+	run := t.benchFor(op, m, k, n)
 	var total time.Duration
 	for i := 0; i < iters; i++ {
 		t.calls.Add(1)
 		start := time.Now()
 		// Benchmarked error path is impossible: shapes are consistent by
 		// construction, so any error is a programmer bug worth surfacing.
-		if err := blas.SGEMM(false, false, 1, ops.a, ops.b, 0, ops.c, threads); err != nil {
-			panic("simtime: RealTimer GEMM failed: " + err.Error())
+		if err := run(threads); err != nil {
+			panic("simtime: RealTimer " + op.String() + " failed: " + err.Error())
 		}
 		total += time.Since(start)
 	}
 	return total.Seconds() / float64(iters)
 }
 
-// GemmCalls returns the cumulative number of timed GEMM invocations — the
-// ground truth the iters-accounting regression tests assert against.
+// GemmCalls returns the cumulative number of timed kernel invocations (all
+// ops) — the ground truth the iters-accounting regression tests assert
+// against.
 func (t *RealTimer) GemmCalls() int64 { return t.calls.Load() }
 
-func (t *RealTimer) operandsFor(m, k, n int) *operands {
-	key := [3]int{m, k, n}
+// benchFor returns (building on first use) the executor closure for one
+// (op, shape) configuration, with its operands allocated and filled once.
+func (t *RealTimer) benchFor(op ops.Op, m, k, n int) func(threads int) error {
+	key := benchKey{op, m, k, n}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if ops, ok := t.cache[key]; ok {
-		return ops
+	if run, ok := t.runs[key]; ok {
+		return run
 	}
-	ops := &operands{a: mat.NewF32(m, k), b: mat.NewF32(k, n), c: mat.NewF32(m, n)}
-	ops.a.FillRandom(t.rng)
-	ops.b.FillRandom(t.rng)
-	t.cache[key] = ops
-	return ops
+	run := op.Spec().NewBench(m, k, n, t.rng)
+	t.runs[key] = run
+	return run
 }
 
-var _ Timer = (*RealTimer)(nil)
+var (
+	_ Timer       = (*RealTimer)(nil)
+	_ OpTimer     = (*RealTimer)(nil)
+	_ MeanOpTimer = (*RealTimer)(nil)
+)

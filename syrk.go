@@ -1,85 +1,41 @@
 package adsala
 
-import (
-	"runtime"
-
-	"repro/internal/blas"
-	"repro/internal/serve"
-)
-
-// Syrk is the runtime front end for symmetric rank-k updates, mirroring
-// Gemm: every call consults the library's model for the thread count
-// (decisions cached under the SYRK operation key, so they never alias GEMM
-// decisions for the same shape triple) and executes on the packed
-// blocked kernel. Thread counts are clamped to the local GOMAXPROCS.
+// Syrk is the legacy SYRK-only front end, kept as a thin wrapper over the
+// generic BLAS facade.
 //
-// The model ranks by the (n, k, n) output shape — the paper trains on GEMM
-// timings only, and extending the training sweep to SYRK's triangular cost
-// profile is the natural next step its §VII future work calls for; the
-// operation-keyed cache and API are already in place for that.
-//
-// The predict→execute path is allocation-free in steady state, like Gemm's.
-// A Syrk is safe for concurrent use.
+// Deprecated: use Library.BLAS(). Syrk remains so pre-registry callers keep
+// compiling; it shares the same engine (and therefore the same decision
+// cache and statistics) as every other facade of its Library. With a
+// per-op-trained library (Train with Ops: [OpSYRK]), decisions rank on the
+// SYRK model's triangular cost profile instead of borrowing GEMM's.
 type Syrk struct {
-	eng *serve.Engine
-	// maxLocal caps the executed thread count (0 = GOMAXPROCS).
-	maxLocal int
+	b *BLAS
 }
 
-// NewSyrk returns a SYRK front end bound to the library.
-func (l *Library) NewSyrk() *Syrk {
-	return &Syrk{eng: serve.NewEngine(l.inner, serve.Options{})}
-}
+// NewSyrk returns a SYRK front end bound to the library's shared engine.
+//
+// Deprecated: use Library.BLAS().
+func (l *Library) NewSyrk() *Syrk { return &Syrk{b: l.BLAS()} }
 
 // SetMaxLocalThreads overrides the local execution clamp (useful in tests).
-func (s *Syrk) SetMaxLocalThreads(n int) { s.maxLocal = n }
-
-// localClamp returns the largest thread count to actually run.
-func (s *Syrk) localClamp() int {
-	if s.maxLocal > 0 {
-		return s.maxLocal
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// choose returns the model-selected thread count for an n×n rank-k update,
-// clamped for local execution.
-func (s *Syrk) choose(n, k int) int {
-	return clampThreads(s.eng.PredictOp(serve.OpSYRK, n, k, n), s.localClamp())
-}
-
-// syrkDims returns the (n, k) dimensions of op(A).
-func syrkDims(rows, cols int, trans bool) (n, k int) {
-	if trans {
-		return cols, rows
-	}
-	return rows, cols
-}
+func (s *Syrk) SetMaxLocalThreads(n int) { s.b.SetMaxLocalThreads(n) }
 
 // SSYRK computes C ← alpha·op(A)·op(A)ᵀ + beta·C in single precision with
 // the model-selected thread count. Only the lower triangle of C is read for
 // the beta update; the result is exactly symmetric.
 func (s *Syrk) SSYRK(trans bool, alpha float32, a *MatrixF32, beta float32, c *MatrixF32) error {
-	n, k := syrkDims(a.Rows, a.Cols, trans)
-	return blas.SSYRK(trans, alpha, a, beta, c, s.choose(n, k))
+	return s.b.SSYRK(trans, alpha, a, beta, c)
 }
 
 // DSYRK is the double-precision counterpart of SSYRK.
 func (s *Syrk) DSYRK(trans bool, alpha float64, a *MatrixF64, beta float64, c *MatrixF64) error {
-	n, k := syrkDims(a.Rows, a.Cols, trans)
-	return blas.DSYRK(trans, alpha, a, beta, c, s.choose(n, k))
+	return s.b.DSYRK(trans, alpha, a, beta, c)
 }
 
 // LastChoice reports the thread count a previous SYRK call selected for an
-// n×n rank-k update, clamped the same way execution was. Read-only cache
-// peek; returns 0 when the shape has not been selected yet.
-func (s *Syrk) LastChoice(n, k int) int {
-	threads, ok := s.eng.CachedChoice(serve.OpSYRK, n, k, n)
-	if !ok {
-		return 0
-	}
-	return clampThreads(threads, s.localClamp())
-}
+// n×n rank-k update — a read-only peek of the shared decision cache.
+// Returns 0 when the shape has not been selected yet.
+func (s *Syrk) LastChoice(n, k int) int { return s.b.LastChoice(OpSYRK, n, k, n) }
 
-// CacheStats reports (hits, misses) of the repeated-shape prediction cache.
-func (s *Syrk) CacheStats() (hits, misses int64) { return s.eng.Cache().Stats() }
+// CacheStats reports (hits, misses) of the library's shared decision cache.
+func (s *Syrk) CacheStats() (hits, misses int64) { return s.b.CacheStats() }
