@@ -26,11 +26,13 @@ package adsala
 
 import (
 	"fmt"
+	"log"
 	"runtime"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
+	distgather "repro/internal/gather"
 	"repro/internal/machine"
 	"repro/internal/ops"
 	"repro/internal/sampling"
@@ -75,6 +77,17 @@ type TrainOptions struct {
 	// timing sweep through its registered kernel and cost profile; ops
 	// without a model fall back to the GEMM model at serving time.
 	Ops []Op
+	// Workers lists adsala-worker daemon addresses ("host:port" or URLs) to
+	// shard the install-time timing sweep across. Empty keeps the
+	// single-node in-process gather. The workers time with the same backend
+	// this process would use (the platform's simulator, or RealTimer for
+	// "local"), and the merged sweep is ordered by sample index — for the
+	// deterministic simulator it is identical to the single-node sweep.
+	Workers []string
+	// Checkpoint is the path prefix of the distributed gather's resumable
+	// JSONL checkpoint (the op's wire name is appended per sweep). Empty
+	// disables checkpointing. Only meaningful with Workers.
+	Checkpoint string
 }
 
 // Report is the model-comparison outcome of installation (Tables III/IV):
@@ -160,6 +173,7 @@ func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
 
 	var (
 		timer      simtime.Timer
+		timerSpec  simtime.Spec
 		maxThreads int
 		refThreads int
 		platform   string
@@ -180,6 +194,7 @@ func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
 		scfg.HT = !opts.NoHT
 		scfg.Seed = seed
 		timer = simtime.New(scfg)
+		timerSpec = simtime.SimSpec(name, seed, !opts.NoHT)
 		maxThreads = node.MaxThreads(!opts.NoHT)
 		refThreads = node.PhysicalCores()
 		platform = name
@@ -191,6 +206,7 @@ func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
 		}
 	case "local":
 		timer = simtime.NewRealTimer(iters)
+		timerSpec = simtime.RealSpec(iters)
 		maxThreads = runtime.GOMAXPROCS(0) * 2
 		refThreads = runtime.GOMAXPROCS(0)
 		platform = "local"
@@ -220,6 +236,18 @@ func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
 	cfg := core.DefaultTrainConfig(gather, platform, refThreads)
 	cfg.Models = core.DefaultModels(seed, opts.Quick)
 	cfg.Ops = opts.Ops
+	if len(opts.Workers) > 0 {
+		cfg.Gatherer = distgather.New(distgather.Config{
+			Workers:    opts.Workers,
+			Timer:      timerSpec,
+			Checkpoint: opts.Checkpoint,
+			// A distributed sweep can run for hours; surface dispatch and
+			// merge progress through the standard logger.
+			Logf: func(format string, args ...any) {
+				log.Printf("gather: "+format, args...)
+			},
+		})
+	}
 	return cfg, nil
 }
 

@@ -19,6 +19,13 @@
 // Usage:
 //
 //	adsala-serve -lib gadi.adsala.json -addr :8080 -warmup 256
+//	adsala-serve -lib gadi.adsala.json -cache-snapshot decisions.json
+//
+// -warmup pre-populates the decision cache for every op the library holds
+// a trained model for. -cache-snapshot persists the decision cache across
+// restarts: the file is loaded at start when present and written on
+// graceful shutdown (SIGINT/SIGTERM), so a restarted daemon answers its
+// warmed working set immediately.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -49,6 +57,7 @@ type config struct {
 	warmup      int
 	warmupCapMB int
 	warmupSeed  int64
+	snapshot    string
 }
 
 // parseFlags parses args (without the program name) into a config. Usage
@@ -65,6 +74,7 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.IntVar(&cfg.warmup, "warmup", 0, "pre-populate the cache with this many sampled shapes")
 	fs.IntVar(&cfg.warmupCapMB, "warmup-cap", 100, "memory cap in MB of the warm-up sampling domain")
 	fs.Int64Var(&cfg.warmupSeed, "warmup-seed", 1, "warm-up sampling seed")
+	fs.StringVar(&cfg.snapshot, "cache-snapshot", "", "decision-cache snapshot file: loaded at start when present, saved on graceful shutdown")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -91,9 +101,24 @@ func newServer(cfg config, out io.Writer) (*serve.Server, error) {
 	})
 	fmt.Fprintf(out, "loaded %s: platform=%s model=%s, cache %d entries / %d shards\n",
 		cfg.libPath, lib.Platform(), lib.ModelKind(), eng.Cache().Capacity(), eng.Cache().Shards())
+	if cfg.snapshot != "" {
+		n, err := eng.Cache().Load(cfg.snapshot)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: the snapshot appears on the first graceful
+			// shutdown. Any other load error is fatal — silently starting
+			// cold (and overwriting the file on exit) would lose the
+			// operator's warmed working set.
+		case err != nil:
+			return nil, err
+		default:
+			fmt.Fprintf(out, "restored %d cached decisions from %s\n", n, cfg.snapshot)
+		}
+	}
 	if cfg.warmup > 0 {
 		start := time.Now()
 		dom := sampling.DefaultDomain().WithCapMB(cfg.warmupCapMB)
+		// Warms every op the library holds a trained model for.
 		n, err := eng.Warmup(dom, cfg.warmup, cfg.warmupSeed)
 		if err != nil {
 			return nil, err
@@ -131,7 +156,22 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutdownCtx)
+		shutdownErr := srv.Shutdown(shutdownCtx)
+		// Save the snapshot even when graceful shutdown timed out: the
+		// cache is still valid, Save is atomic, and losing the warmed
+		// working set on exactly the restart path the snapshot exists for
+		// would defeat it.
+		if cfg.snapshot != "" {
+			cache := handler.Engine().Cache()
+			if err := cache.Save(cfg.snapshot); err != nil {
+				if shutdownErr != nil {
+					return fmt.Errorf("%w (and cache snapshot failed: %v)", shutdownErr, err)
+				}
+				return err
+			}
+			fmt.Fprintf(out, "saved %d cached decisions to %s\n", cache.Len(), cfg.snapshot)
+		}
+		return shutdownErr
 	}
 }
 

@@ -102,6 +102,48 @@ func TestNewServerBadLibrary(t *testing.T) {
 	}
 }
 
+// TestCacheSnapshotAcrossRestart simulates a daemon restart with
+// -cache-snapshot: decisions cached by the first instance are served warm
+// by the second.
+func TestCacheSnapshotAcrossRestart(t *testing.T) {
+	path := savedLibrary(t)
+	snap := filepath.Join(t.TempDir(), "decisions.json")
+	cfg, err := parseFlags([]string{"-lib", path, "-cache-snapshot", snap}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	srv, err := newServer(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := srv.Engine().Predict(320, 640, 320)
+	// The daemon's shutdown path saves the snapshot.
+	if err := srv.Engine().Cache().Save(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	srv2, err := newServer(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "restored 1 cached decisions") {
+		t.Errorf("restore not reported: %q", out.String())
+	}
+	if got, ok := srv2.Engine().CachedChoice(serve.OpGEMM, 320, 640, 320); !ok || got != want {
+		t.Errorf("restored decision = (%d, %v), want (%d, true)", got, ok, want)
+	}
+	// Serving the restored shape is a cache hit, no ranking.
+	if got := srv2.Engine().Predict(320, 640, 320); got != want {
+		t.Errorf("restored cache served %d, want %d", got, want)
+	}
+	if st := srv2.Engine().Stats(); st.CacheHits != 1 || st.CacheMisses != 0 {
+		t.Errorf("restored cache did not serve warm: %+v", st)
+	}
+}
+
 // TestDaemonRoundTrip is the end-to-end integration test of the acceptance
 // criteria: the daemon loads a saved library and answers /predict, /batch,
 // /stats and /healthz over HTTP.

@@ -9,16 +9,26 @@
 //	adsala-train -platform Gadi -cap 500 -shapes 300 -out gadi.adsala.json
 //	adsala-train -platform local -out local.adsala.json
 //	adsala-train -platform Gadi -ops gemm,syrk -out gadi.adsala.json
+//	adsala-train -platform Gadi -workers host1:9090,host2:9090 \
+//	    -checkpoint gather.ckpt -out gadi.adsala.json
 //
 // -ops trains one model per listed operation (GEMM is always trained); the
 // artefact stores the per-op bundle in format v2, and the report prints one
 // comparison table per op.
+//
+// -workers shards the timing sweep across a fleet of adsala-worker daemons
+// (the slowest stage of installation; see the README "Distributed
+// training" section). The merged sweep is ordered by sample index, so a
+// simulated-platform distributed gather trains the identical model the
+// single-node path would. -checkpoint makes the sweep resumable: completed
+// work units are appended to a JSONL file and skipped on restart.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	adsala "repro"
 )
@@ -35,6 +45,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "smaller model grids and ensembles")
 		noHT     = flag.Bool("no-ht", false, "disable hyper-threading on the simulated platform")
 		opsFlag  = flag.String("ops", "gemm", "comma-separated operations to train models for (gemm,syrk,syr2k); gemm is always included")
+		workers  = flag.String("workers", "", "comma-separated adsala-worker addresses to shard the timing sweep across (empty = single-node gather)")
+		ckpt     = flag.String("checkpoint", "", "resumable gather checkpoint path prefix (distributed gather only; per-op suffix appended)")
 		out      = flag.String("out", "adsala.json", "output library file")
 	)
 	flag.Parse()
@@ -43,15 +55,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var workerList []string
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workerList = append(workerList, w)
+			}
+		}
+		if len(workerList) == 0 {
+			log.Fatal("-workers lists no usable addresses")
+		}
+	}
+	if *ckpt != "" && len(workerList) == 0 {
+		log.Fatal("-checkpoint requires -workers (the single-node gather is not checkpointed)")
+	}
 	lib, report, err := adsala.Train(adsala.TrainOptions{
-		Platform: *platform,
-		CapMB:    *capMB,
-		Shapes:   *shapes,
-		Iters:    *iters,
-		Seed:     *seed,
-		Quick:    *quick,
-		NoHT:     *noHT,
-		Ops:      trainOps,
+		Platform:   *platform,
+		CapMB:      *capMB,
+		Shapes:     *shapes,
+		Iters:      *iters,
+		Seed:       *seed,
+		Quick:      *quick,
+		NoHT:       *noHT,
+		Ops:        trainOps,
+		Workers:    workerList,
+		Checkpoint: *ckpt,
 	})
 	if err != nil {
 		log.Fatal(err)

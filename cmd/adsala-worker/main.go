@@ -1,0 +1,145 @@
+// adsala-worker is the distributed-gather worker daemon: it executes timing
+// work units dispatched by an adsala-train coordinator (-workers flag),
+// timing the registry kernels on this machine and answering result polls
+// over HTTP.
+//
+// Endpoints:
+//
+//	POST /register  accept a sweep spec (op, timing backend, domain, seed,
+//	                candidates, iters) and build the timing backend
+//	POST /work      accept one work unit ({start, count} into the sweep's
+//	                deterministic Halton sample stream); executes async
+//	GET  /result    poll one unit's result (?session=&id=)
+//	GET  /healthz   liveness, session and progress probe
+//	POST /drain     stop accepting new units; in-flight units finish
+//
+// The timing backend comes from the coordinator's spec: simtime.RealTimer
+// for real installs (the default), or the deterministic Simulator. With
+// -sim the worker only accepts simulator sweeps — the guard tests and CI
+// use so no wall-clock timing ever runs there.
+//
+// Usage:
+//
+//	adsala-worker -addr :9090
+//	adsala-worker -addr :9091 -sim   # simulator-only (tests, CI)
+//
+// On SIGINT/SIGTERM the daemon drains: it refuses new units, finishes the
+// in-flight ones (the coordinator keeps polling /result meanwhile), then
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/gather"
+)
+
+// config is the parsed command line of the daemon.
+type config struct {
+	addr         string
+	name         string
+	sim          bool
+	concurrency  int
+	drainTimeout time.Duration
+	linger       time.Duration
+}
+
+// parseFlags parses args (without the program name) into a config. Usage
+// and parse errors print to out; a help request returns flag.ErrHelp.
+func parseFlags(args []string, out io.Writer) (config, error) {
+	fs := flag.NewFlagSet("adsala-worker", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":9090", "listen address")
+	fs.StringVar(&cfg.name, "name", "", "worker name reported to the coordinator (default: the listen address)")
+	fs.BoolVar(&cfg.sim, "sim", false, "only accept simulator-backend sweeps (no real timing; for tests and CI)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 1, "units executed in parallel (1 keeps the machine idle for timing)")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight units on shutdown")
+	fs.DurationVar(&cfg.linger, "linger", 10*time.Second, "max wait after drain for the coordinator to fetch completed results")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.concurrency < 1 {
+		return cfg, fmt.Errorf("-concurrency must be >= 1, got %d", cfg.concurrency)
+	}
+	return cfg, nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args, out)
+	if errors.Is(err, flag.ErrHelp) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	name := cfg.name
+	if name == "" {
+		name = cfg.addr
+	}
+	worker := gather.NewWorker(gather.WorkerOptions{
+		Name:        name,
+		RequireSim:  cfg.sim,
+		Concurrency: cfg.concurrency,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(out, format+"\n", a...)
+		},
+	})
+	srv := &http.Server{Addr: cfg.addr, Handler: worker}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		mode := "real timing"
+		if cfg.sim {
+			mode = "simulator only"
+		}
+		fmt.Fprintf(out, "worker %s listening on %s (%s)\n", name, cfg.addr, mode)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(out, "draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		if err := worker.Drain(drainCtx); err != nil {
+			fmt.Fprintf(out, "drain: %v (shutting down anyway)\n", err)
+		}
+		// Keep /result answering until the coordinator has collected every
+		// completed unit (bounded by -linger): shutting down the instant
+		// the kernels finish would discard exactly the work the drain
+		// waited for, and stall the coordinator for a full unit timeout.
+		if worker.Unfetched() > 0 {
+			fmt.Fprintf(out, "lingering for %d unfetched results\n", worker.Unfetched())
+			lingerCtx, cancel2 := context.WithTimeout(context.Background(), cfg.linger)
+			defer cancel2()
+			if err := worker.WaitFetched(lingerCtx); err != nil {
+				fmt.Fprintf(out, "linger: %v (shutting down anyway)\n", err)
+			}
+		}
+		shutdownCtx, cancel3 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel3()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adsala-worker: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gather"
+	"repro/internal/ops"
+	"repro/internal/sampling"
+	"repro/internal/simtime"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", ":9191", "-sim", "-name", "w7", "-concurrency", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":9191" || !cfg.sim || cfg.name != "w7" || cfg.concurrency != 2 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-concurrency", "0"}, io.Discard); err == nil {
+		t.Error("-concurrency 0 should error")
+	}
+	if _, err := parseFlags([]string{"-h"}, io.Discard); err == nil {
+		t.Error("help should surface flag.ErrHelp")
+	}
+}
+
+// TestRunServesSweep boots the daemon on a loopback port and drives one
+// distributed gather against it end to end.
+func TestRunServesSweep(t *testing.T) {
+	addr := "127.0.0.1:39417"
+	var out strings.Builder
+	errc := make(chan error, 1)
+	go func() { errc <- run([]string{"-addr", addr, "-sim"}, &out) }()
+
+	spec := simtime.SimSpec("Gadi", 3, true)
+	gcfg := core.GatherConfig{
+		Domain:     sampling.DefaultDomain().WithCapMB(100),
+		NumShapes:  6,
+		Candidates: []int{1, 4, 16},
+		Iters:      2,
+		Seed:       3,
+		Op:         ops.GEMM,
+	}
+	coord := gather.New(gather.Config{
+		Workers:      []string{addr},
+		Timer:        spec,
+		UnitShapes:   2,
+		PollInterval: 2 * time.Millisecond,
+	})
+
+	// The daemon needs a moment to bind; retry registration briefly.
+	var (
+		got []core.ShapeTimings
+		err error
+	)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err = coord.Gather(gcfg)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("gather against the daemon: %v (output: %s)", err, out.String())
+	}
+	if len(got) != 6 {
+		t.Fatalf("gathered %d shapes, want 6", len(got))
+	}
+
+	timer, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg.Timer = timer
+	want, err := core.Gather(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Shape != want[i].Shape {
+			t.Fatalf("shape %d = %v, want %v", i, got[i].Shape, want[i].Shape)
+		}
+	}
+	select {
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	default:
+	}
+
+	// SIGTERM drains the daemon and releases the port (so the test can
+	// re-run in the same process, e.g. under -count=2).
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drain on SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "draining") {
+		t.Errorf("drain not reported: %q", out.String())
+	}
+}

@@ -97,6 +97,22 @@ type meanTimer interface {
 	MeasureMean(m, k, n, threads, iters int) float64
 }
 
+// Gatherer produces the timing sweep of one operation. Two implementations
+// exist: LocalGatherer runs the sweep in-process on cfg.Timer (the paper's
+// single-node install path), and gather.Coordinator shards it across a fleet
+// of adsala-worker daemons. Train picks whichever TrainConfig names; the
+// merged distributed sweep is defined to be identical to the local one for a
+// deterministic timer, so the choice never changes what gets trained.
+type Gatherer interface {
+	Gather(cfg GatherConfig) ([]ShapeTimings, error)
+}
+
+// LocalGatherer is the in-process Gatherer: the plain Gather call.
+type LocalGatherer struct{}
+
+// Gather implements Gatherer by running the sweep on cfg.Timer locally.
+func (LocalGatherer) Gather(cfg GatherConfig) ([]ShapeTimings, error) { return Gather(cfg) }
+
 // Gather samples NumShapes quasi-random shapes and times each at every
 // candidate thread count with the configured operation's kernel.
 func Gather(cfg GatherConfig) ([]ShapeTimings, error) {
@@ -106,29 +122,61 @@ func Gather(cfg GatherConfig) ([]ShapeTimings, error) {
 	if cfg.NumShapes < 1 {
 		return nil, fmt.Errorf("core: NumShapes %d < 1", cfg.NumShapes)
 	}
-	if len(cfg.Candidates) == 0 {
+	shapes, err := SampleOpShapes(cfg.Domain, cfg.Seed, cfg.Op, 0, cfg.NumShapes)
+	if err != nil {
+		return nil, err
+	}
+	return MeasureSweep(cfg.Timer, cfg.Op, shapes, cfg.Candidates, cfg.Iters)
+}
+
+// SampleOpShapes draws count in-domain shapes of the op's sweep, starting at
+// the given index of the deterministic (domain, seed) accepted-sample stream
+// and mapped through the op's canonical feature triple. It is the shared
+// shape source of the local and distributed gathers: unit (start, count)
+// slices partition the exact sequence the single-node sweep walks.
+func SampleOpShapes(dom sampling.Domain, seed int64, op ops.Op, start, count int) ([]sampling.Shape, error) {
+	if !op.Valid() {
+		return nil, fmt.Errorf("core: unknown op %v", op)
+	}
+	if start < 0 || count < 0 {
+		return nil, fmt.Errorf("core: negative shape range [%d, %d)", start, start+count)
+	}
+	sampler, err := sampling.NewSampler(dom, seed)
+	if err != nil {
+		return nil, err
+	}
+	sampler.Skip(start)
+	canon := op.Spec().Canon
+	out := make([]sampling.Shape, count)
+	for i := range out {
+		out[i] = canon(sampler.Next())
+	}
+	return out, nil
+}
+
+// MeasureSweep times every shape at every candidate thread count with the
+// op's kernel on the given timer, averaging iters repetitions per
+// configuration (minimum 1; zero selects the paper's 10). It is the inner
+// loop of Gather, exported so distributed workers execute their units
+// through exactly the code path of the single-node sweep.
+func MeasureSweep(timer simtime.Timer, op ops.Op, shapes []sampling.Shape, candidates []int, iters int) ([]ShapeTimings, error) {
+	if timer == nil {
+		return nil, fmt.Errorf("core: MeasureSweep timer is nil")
+	}
+	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: no candidate thread counts")
 	}
-	if !cfg.Op.Valid() {
-		return nil, fmt.Errorf("core: unknown op %v", cfg.Op)
+	if iters < 1 {
+		iters = 10
 	}
-	if cfg.Iters < 1 {
-		cfg.Iters = 10
-	}
-	measure, err := measureFunc(cfg)
+	measure, err := measureFunc(timer, op, iters)
 	if err != nil {
 		return nil, err
 	}
-	canon := cfg.Op.Spec().Canon
-	sampler, err := sampling.NewSampler(cfg.Domain, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]ShapeTimings, 0, cfg.NumShapes)
-	for i := 0; i < cfg.NumShapes; i++ {
-		sh := canon(sampler.Next())
-		st := ShapeTimings{Shape: sh, Times: make([]CandidateTime, 0, len(cfg.Candidates))}
-		for _, p := range cfg.Candidates {
+	out := make([]ShapeTimings, 0, len(shapes))
+	for _, sh := range shapes {
+		st := ShapeTimings{Shape: sh, Times: make([]CandidateTime, 0, len(candidates))}
+		for _, p := range candidates {
 			st.Times = append(st.Times, CandidateTime{Threads: p, Seconds: measure(sh, p)})
 		}
 		out = append(out, st)
@@ -136,39 +184,42 @@ func Gather(cfg GatherConfig) ([]ShapeTimings, error) {
 	return out, nil
 }
 
-// measureFunc resolves the timing closure for the configured op: GEMM keeps
-// the paper's Timer path byte-for-byte, other ops go through the per-op
-// timing interfaces of simtime.
-func measureFunc(cfg GatherConfig) (func(sh sampling.Shape, threads int) float64, error) {
-	if cfg.Op == ops.GEMM {
-		if mt, ok := cfg.Timer.(meanTimer); ok {
+// measureFunc resolves the timing closure for the op: GEMM keeps the paper's
+// Timer path byte-for-byte, other ops go through the per-op timing
+// interfaces of simtime.
+func measureFunc(timer simtime.Timer, op ops.Op, iters int) (func(sh sampling.Shape, threads int) float64, error) {
+	if !op.Valid() {
+		return nil, fmt.Errorf("core: unknown op %v", op)
+	}
+	if op == ops.GEMM {
+		if mt, ok := timer.(meanTimer); ok {
 			return func(sh sampling.Shape, p int) float64 {
-				return mt.MeasureMean(sh.M, sh.K, sh.N, p, cfg.Iters)
+				return mt.MeasureMean(sh.M, sh.K, sh.N, p, iters)
 			}, nil
 		}
 		return func(sh sampling.Shape, p int) float64 {
 			var secs float64
-			for r := 0; r < cfg.Iters; r++ {
-				secs += cfg.Timer.Time(sh.M, sh.K, sh.N, p)
+			for r := 0; r < iters; r++ {
+				secs += timer.Time(sh.M, sh.K, sh.N, p)
 			}
-			return secs / float64(cfg.Iters)
+			return secs / float64(iters)
 		}, nil
 	}
-	if mt, ok := cfg.Timer.(simtime.MeanOpTimer); ok {
+	if mt, ok := timer.(simtime.MeanOpTimer); ok {
 		return func(sh sampling.Shape, p int) float64 {
-			return mt.MeasureMeanOp(cfg.Op, sh.M, sh.K, sh.N, p, cfg.Iters)
+			return mt.MeasureMeanOp(op, sh.M, sh.K, sh.N, p, iters)
 		}, nil
 	}
-	if ot, ok := cfg.Timer.(simtime.OpTimer); ok {
+	if ot, ok := timer.(simtime.OpTimer); ok {
 		return func(sh sampling.Shape, p int) float64 {
 			var secs float64
-			for r := 0; r < cfg.Iters; r++ {
-				secs += ot.TimeOp(cfg.Op, sh.M, sh.K, sh.N, p)
+			for r := 0; r < iters; r++ {
+				secs += ot.TimeOp(op, sh.M, sh.K, sh.N, p)
 			}
-			return secs / float64(cfg.Iters)
+			return secs / float64(iters)
 		}, nil
 	}
-	return nil, fmt.Errorf("core: timer %T cannot time op %v", cfg.Timer, cfg.Op)
+	return nil, fmt.Errorf("core: timer %T cannot time op %v", timer, op)
 }
 
 // Records flattens shape timings into per-(shape, threads) training records.

@@ -37,6 +37,10 @@ type TrainConfig struct {
 	// means GEMM only. GEMM is always trained — it is the primary model and
 	// the fallback for operations without one of their own.
 	Ops []ops.Op
+	// Gatherer produces each op's timing sweep. Nil selects LocalGatherer
+	// (the in-process single-node sweep); a gather.Coordinator shards the
+	// same sweep across a worker fleet.
+	Gatherer Gatherer
 }
 
 // DefaultTrainConfig assembles the paper's settings around a gather config.
@@ -113,10 +117,14 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		OpData:    make(map[ops.Op][]ShapeTimings),
 	}
 	lib := &Library{Platform: cfg.Platform}
+	gatherer := cfg.Gatherer
+	if gatherer == nil {
+		gatherer = LocalGatherer{}
+	}
 	for _, op := range trainOps(cfg) {
 		g := cfg.Gather
 		g.Op = op
-		data, err := Gather(g)
+		data, err := gatherer.Gather(g)
 		if err != nil {
 			return nil, fmt.Errorf("core: gather %v: %w", op, err)
 		}

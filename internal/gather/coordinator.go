@@ -1,0 +1,536 @@
+package gather
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/simtime"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers lists worker daemon addresses ("host:port" or full URLs).
+	Workers []string
+	// Timer describes the timing backend every worker must build — the
+	// wire form of the timer the single-node path would use locally.
+	Timer simtime.Spec
+	// UnitShapes is the number of sweep shapes per work unit (default 4).
+	// Smaller units spread better and lose less work on failure; larger
+	// units amortise dispatch overhead.
+	UnitShapes int
+	// Checkpoint is the path prefix of the resumable JSONL checkpoint;
+	// the op's wire name is appended (e.g. "gather.ckpt.gemm"), since
+	// core.Train gathers one sweep per op through the same Coordinator.
+	// Empty disables checkpointing.
+	Checkpoint string
+	// UnitTimeout bounds one unit's dispatch-to-result wall time on one
+	// worker before the unit is reassigned (default 5m).
+	UnitTimeout time.Duration
+	// PollInterval is the result polling period (default 50ms).
+	PollInterval time.Duration
+	// MaxUnitRetries bounds reassignments per unit before the whole gather
+	// fails (default 8).
+	MaxUnitRetries int
+	// WorkerFailureLimit retires a worker after this many consecutive
+	// failed units (default 3).
+	WorkerFailureLimit int
+	// HTTP overrides the transport (default: 15s request timeout).
+	HTTP *http.Client
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Stats summarises one completed (or failed) Gather run.
+type Stats struct {
+	// Units is the size of the sweep plan.
+	Units int
+	// Resumed counts units satisfied by the checkpoint without dispatch.
+	Resumed int
+	// Dispatched counts unit executions successfully fetched from workers.
+	Dispatched int
+	// Retries counts re-dispatches after a worker failure or timeout.
+	Retries int
+	// Duplicates counts results dropped by the merge dedup (a unit
+	// completing on two workers after a reassignment race).
+	Duplicates int
+	// WorkersRegistered counts workers that accepted the sweep spec.
+	WorkersRegistered int
+}
+
+// Coordinator shards a timing sweep across a fleet of Workers. It
+// implements core.Gatherer, so it plugs straight into core.TrainConfig; the
+// merged sweep is ordered by sample index and therefore identical to the
+// single-node gather for a deterministic timer.
+type Coordinator struct {
+	cfg Config
+
+	mu   sync.Mutex
+	last Stats
+}
+
+// New returns a Coordinator over the config with defaults applied.
+func New(cfg Config) *Coordinator {
+	if cfg.UnitShapes < 1 {
+		cfg.UnitShapes = 4
+	}
+	if cfg.UnitTimeout <= 0 {
+		cfg.UnitTimeout = 5 * time.Minute
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	if cfg.MaxUnitRetries < 1 {
+		cfg.MaxUnitRetries = 8
+	}
+	if cfg.WorkerFailureLimit < 1 {
+		cfg.WorkerFailureLimit = 3
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: 15 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Coordinator{cfg: cfg}
+}
+
+// Stats returns the statistics of the most recent Gather run.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// pendingUnit is one queued unit with its attempt count.
+type pendingUnit struct {
+	unit  Unit
+	tries int
+}
+
+// unitQueue is the mutex-guarded dispatch queue. A plain slice under a lock
+// (not a channel): failed units are requeued by worker loops while the
+// merger holds no reference to the queue, and a bounded channel could
+// deadlock a requeue.
+type unitQueue struct {
+	mu      sync.Mutex
+	pending []pendingUnit
+}
+
+func (q *unitQueue) push(pu pendingUnit) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending = append(q.pending, pu)
+}
+
+func (q *unitQueue) pop() (pendingUnit, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pending) == 0 {
+		return pendingUnit{}, false
+	}
+	pu := q.pending[0]
+	q.pending = q.pending[1:]
+	return pu, true
+}
+
+// run is the shared state of one Gather execution.
+type run struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  unitQueue
+
+	fatalOnce sync.Once
+	fatalErr  error
+
+	retries    atomic.Int64
+	dispatched atomic.Int64
+	duplicates atomic.Int64
+}
+
+// fail records the first fatal error and stops every loop.
+func (r *run) fail(err error) {
+	r.fatalOnce.Do(func() {
+		r.fatalErr = err
+		r.cancel()
+	})
+}
+
+// Gather implements core.Gatherer: it shards cfg's sweep over the worker
+// fleet and returns the merged timings in sample order. cfg.Timer is
+// ignored — the workers build their backend from the coordinator's wire
+// Spec instead.
+func (c *Coordinator) Gather(gcfg core.GatherConfig) ([]core.ShapeTimings, error) {
+	if len(c.cfg.Workers) == 0 {
+		return nil, fmt.Errorf("gather: no workers configured")
+	}
+	if gcfg.NumShapes < 1 {
+		return nil, fmt.Errorf("gather: NumShapes %d < 1", gcfg.NumShapes)
+	}
+	if len(gcfg.Candidates) == 0 {
+		return nil, fmt.Errorf("gather: no candidate thread counts")
+	}
+	if !gcfg.Op.Valid() {
+		return nil, fmt.Errorf("gather: unknown op %v", gcfg.Op)
+	}
+	if _, err := sampling.NewSampler(gcfg.Domain, gcfg.Seed); err != nil {
+		return nil, err
+	}
+	iters := gcfg.Iters
+	if iters < 1 {
+		iters = 10
+	}
+
+	spec := SweepSpec{
+		Op:         gcfg.Op.String(),
+		Timer:      c.cfg.Timer,
+		Domain:     gcfg.Domain,
+		Seed:       gcfg.Seed,
+		Candidates: append([]int(nil), gcfg.Candidates...),
+		Iters:      iters,
+	}
+	spec.Session = spec.Fingerprint()
+	spec.Run = newRunID()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	units := planUnits(gcfg.NumShapes, c.cfg.UnitShapes)
+	stats := Stats{Units: len(units)}
+	// Record the run's statistics on every exit path — a failed sweep's
+	// counters (retries, resumed units, registered workers) are exactly
+	// what the operator needs to diagnose it.
+	var r *run
+	defer func() {
+		if r != nil {
+			stats.Dispatched = int(r.dispatched.Load())
+			stats.Retries = int(r.retries.Load())
+			stats.Duplicates = int(r.duplicates.Load())
+		}
+		c.mu.Lock()
+		c.last = stats
+		c.mu.Unlock()
+	}()
+
+	ckPath := ""
+	if c.cfg.Checkpoint != "" {
+		ckPath = c.cfg.Checkpoint + "." + spec.Op
+	}
+	completed, ck, err := openCheckpoint(ckPath, spec, units, gcfg.NumShapes, c.cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	defer ck.close()
+	stats.Resumed = len(completed)
+
+	// A fully-checkpointed sweep needs no fleet at all — re-running the
+	// install after a post-gather crash must not depend on the workers
+	// still being up.
+	if len(completed) == len(units) {
+		c.cfg.Logf("checkpoint already complete: %d units, nothing to dispatch", len(units))
+		return assemble(units, completed, gcfg.NumShapes)
+	}
+
+	// Register the fleet; workers that refuse or cannot be reached are
+	// dropped (and logged) — the sweep needs at least one.
+	var live []string
+	for _, addr := range c.cfg.Workers {
+		base := normalizeWorkerURL(addr)
+		var reg RegisterResponse
+		if err := c.postJSON(base+"/register", spec, &reg); err != nil {
+			c.cfg.Logf("worker %s: register failed: %v", base, err)
+			continue
+		}
+		c.cfg.Logf("worker %s registered (%s, backend %s)", base, reg.Worker, reg.Backend)
+		live = append(live, base)
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("gather: none of the %d configured workers accepted the sweep", len(c.cfg.Workers))
+	}
+	stats.WorkersRegistered = len(live)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r = &run{ctx: ctx, cancel: cancel}
+	for _, u := range units {
+		if _, done := completed[u.ID]; !done {
+			r.queue.push(pendingUnit{unit: u})
+		}
+	}
+
+	results := make(chan UnitResult, len(live))
+	var wg sync.WaitGroup
+	for _, base := range live {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			c.workerLoop(r, base, spec, results)
+		}(base)
+	}
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+
+	// Merge loop: first result per unit wins; late duplicates (a unit
+	// reassigned after a timeout that then completes twice) are dropped, so
+	// every unit is accounted for exactly once.
+	outstanding := len(units) - len(completed)
+	merge := func(res UnitResult) error {
+		if !mergeResult(completed, res) {
+			r.duplicates.Add(1)
+			return nil
+		}
+		outstanding--
+		if err := ck.append(res); err != nil {
+			return err
+		}
+		c.cfg.Logf("unit %d/%d merged (worker %s, %d remaining)",
+			res.UnitID+1, len(units), res.Worker, outstanding)
+		return nil
+	}
+	for outstanding > 0 {
+		select {
+		case res := <-results:
+			if err := merge(res); err != nil {
+				r.fail(err)
+				wg.Wait()
+				return nil, err
+			}
+		case <-workersDone:
+			// Drain results delivered just before the last loop exited —
+			// a retiring worker may have buffered the final unit.
+			for drained := true; drained && outstanding > 0; {
+				select {
+				case res := <-results:
+					if err := merge(res); err != nil {
+						return nil, err
+					}
+				default:
+					drained = false
+				}
+			}
+			if outstanding > 0 {
+				if r.fatalErr != nil {
+					return nil, r.fatalErr
+				}
+				return nil, fmt.Errorf("gather: every worker retired with %d of %d units outstanding",
+					outstanding, len(units))
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	return assemble(units, completed, gcfg.NumShapes)
+}
+
+// assemble concatenates the completed units in sample order: by
+// construction this is the exact sequence the single-node sweep walks.
+func assemble(units []Unit, completed map[int][]core.ShapeTimings, numShapes int) ([]core.ShapeTimings, error) {
+	out := make([]core.ShapeTimings, 0, numShapes)
+	for _, u := range units {
+		timings := completed[u.ID]
+		if len(timings) != u.Count {
+			return nil, fmt.Errorf("gather: unit %d merged %d timings, want %d", u.ID, len(timings), u.Count)
+		}
+		out = append(out, timings...)
+	}
+	return out, nil
+}
+
+// mergeResult records one unit result into completed and reports whether it
+// was fresh. A false return is a duplicate (the unit already completed on
+// another worker, or came out of the checkpoint) and must be dropped — the
+// merge invariant is every unit accounted for exactly once.
+func mergeResult(completed map[int][]core.ShapeTimings, res UnitResult) bool {
+	if _, dup := completed[res.UnitID]; dup {
+		return false
+	}
+	completed[res.UnitID] = res.Timings
+	return true
+}
+
+// workerLoop claims units for one worker until the run ends or the worker
+// accumulates too many consecutive failures.
+func (c *Coordinator) workerLoop(r *run, base string, spec SweepSpec, results chan<- UnitResult) {
+	failures := 0
+	for {
+		if r.ctx.Err() != nil {
+			return
+		}
+		pu, ok := r.queue.pop()
+		if !ok {
+			// Queue drained but other workers may still fail and requeue;
+			// idle until the run finishes or work reappears.
+			select {
+			case <-r.ctx.Done():
+				return
+			case <-time.After(c.cfg.PollInterval):
+			}
+			continue
+		}
+		res, err := c.runUnit(r.ctx, base, spec, pu.unit)
+		if err != nil {
+			if r.ctx.Err() != nil {
+				return
+			}
+			c.cfg.Logf("worker %s: unit %d attempt %d failed: %v", base, pu.unit.ID, pu.tries+1, err)
+			c.requeue(r, pu, base, err)
+			failures++
+			if failures >= c.cfg.WorkerFailureLimit {
+				c.cfg.Logf("worker %s retired after %d consecutive failures", base, failures)
+				return
+			}
+			continue
+		}
+		failures = 0
+		r.dispatched.Add(1)
+		select {
+		case results <- *res:
+		case <-r.ctx.Done():
+			return
+		}
+	}
+}
+
+// requeue puts a failed unit back on the queue, failing the run when the
+// unit has exhausted its retries.
+func (c *Coordinator) requeue(r *run, pu pendingUnit, base string, err error) {
+	pu.tries++
+	if pu.tries >= c.cfg.MaxUnitRetries {
+		r.fail(fmt.Errorf("gather: unit %d failed %d times (last worker %s): %w", pu.unit.ID, pu.tries, base, err))
+		return
+	}
+	r.retries.Add(1)
+	r.queue.push(pu)
+}
+
+// runUnit dispatches one unit to one worker and polls for its result until
+// UnitTimeout.
+func (c *Coordinator) runUnit(ctx context.Context, base string, spec SweepSpec, u Unit) (*UnitResult, error) {
+	if err := c.postJSON(base+"/work", WorkRequest{Session: spec.Session, Unit: u}, nil); err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	deadline := time.Now().Add(c.cfg.UnitTimeout)
+	url := fmt.Sprintf("%s/result?session=%s&id=%d", base, spec.Session, u.ID)
+	for {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("unit %d timed out after %v on %s", u.ID, c.cfg.UnitTimeout, base)
+		}
+		res, pending, err := c.getResult(url)
+		if err != nil {
+			return nil, err
+		}
+		if !pending {
+			// Start matters as much as ID and Count: a result timing the
+			// wrong slice of the sample stream would merge into the wrong
+			// sweep positions and silently corrupt the trained model.
+			if res.UnitID != u.ID || res.Start != u.Start || res.Count != u.Count || len(res.Timings) != u.Count {
+				return nil, fmt.Errorf("worker %s answered unit %d [%d,%d) with mismatched result (unit %d [%d,%d), %d timings)",
+					base, u.ID, u.Start, u.Start+u.Count, res.UnitID, res.Start, res.Start+res.Count, len(res.Timings))
+			}
+			return res, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.cfg.PollInterval):
+		}
+	}
+}
+
+// getResult performs one poll. pending is true while the worker is still
+// executing the unit — including on a transport failure: the unit may be
+// minutes into real timing work, and discarding it over one dropped
+// connection (or retiring the worker over a brief coordinator-side network
+// blip) wastes it all. Polling keeps going until the unit's deadline; a
+// permanently dead worker is caught there, and definitively by its next
+// dispatch. Definitive worker answers (404/409/500) still fail the unit.
+func (c *Coordinator) getResult(url string) (res *UnitResult, pending bool, err error) {
+	resp, err := c.cfg.HTTP.Get(url)
+	if err != nil {
+		c.cfg.Logf("poll %s: %v (retrying until the unit deadline)", url, err)
+		return nil, true, nil
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res = &UnitResult{}
+		if err := json.NewDecoder(resp.Body).Decode(res); err != nil {
+			return nil, false, fmt.Errorf("decode result: %w", err)
+		}
+		return res, false, nil
+	case http.StatusAccepted:
+		return nil, true, nil
+	default:
+		return nil, false, httpError(resp)
+	}
+}
+
+// postJSON issues one POST and decodes the answer into out (when non-nil).
+// 2xx statuses succeed.
+func (c *Coordinator) postJSON(url string, body, out any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("encode request: %w", err)
+	}
+	resp, err := c.cfg.HTTP.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return httpError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}
+
+// httpError converts a non-success response into an error carrying the
+// worker's JSON error message when present.
+func httpError(resp *http.Response) error {
+	var apiErr apiError
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+		return fmt.Errorf("%s (HTTP %d)", apiErr.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("HTTP %d", resp.StatusCode)
+}
+
+// runCounter disambiguates run IDs minted within one nanosecond tick.
+var runCounter atomic.Int64
+
+// newRunID mints a nonce unique per Gather invocation.
+func newRunID() string {
+	return fmt.Sprintf("%x-%x", time.Now().UnixNano(), runCounter.Add(1))
+}
+
+// normalizeWorkerURL accepts "host:port" or a full URL and returns a base
+// URL without a trailing slash.
+func normalizeWorkerURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+var _ core.Gatherer = (*Coordinator)(nil)

@@ -1,0 +1,389 @@
+package gather
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/simtime"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Name is reported in results and /register answers (diagnostics).
+	Name string
+	// RequireSim rejects registrations asking for the real-timing backend —
+	// the cmd/adsala-worker -sim guard, so a CI or test worker can never be
+	// talked into wall-clock timing.
+	RequireSim bool
+	// Concurrency bounds simultaneously executing units. The default 1 is
+	// deliberate: timing wants an otherwise idle machine, and a worker
+	// running two units concurrently would perturb both measurements.
+	Concurrency int
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// ExecDelay, when non-nil, returns an artificial delay inserted before
+	// a unit executes — the fault-injection hook the slow-worker tests use.
+	ExecDelay func(u Unit) time.Duration
+}
+
+// unitState tracks one dispatched unit on the worker.
+type unitState struct {
+	status  string // statusRunning or statusDone
+	err     string // non-empty: execution failed
+	fetched bool   // a successful result has been served to the coordinator
+	result  *UnitResult
+}
+
+// Worker executes timing-sweep work units for a coordinator. It is an
+// http.Handler exposing /register, /work, /result, /healthz and /drain; the
+// cmd/adsala-worker daemon mounts it behind an http.Server.
+//
+// Protocol: the coordinator POSTs the SweepSpec to /register (building the
+// timing backend from the wire Spec), POSTs units to /work (accepted and
+// executed asynchronously, one at a time by default), and polls
+// GET /result?session=&id= until the unit reports done. /drain stops the
+// worker accepting new units while in-flight ones finish — the graceful
+// shutdown path.
+type Worker struct {
+	opts WorkerOptions
+	mux  *http.ServeMux
+	sem  chan struct{}
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	running  atomic.Int64
+
+	mu      sync.Mutex
+	session string
+	run     string
+	spec    SweepSpec
+	op      ops.Op
+	timer   simtime.Timer
+	units   map[int]*unitState
+}
+
+// NewWorker returns a Worker with the given options.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Name == "" {
+		opts.Name = "adsala-worker"
+	}
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 1
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	w := &Worker{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, opts.Concurrency),
+		units: make(map[int]*unitState),
+	}
+	w.mux.HandleFunc("/register", w.handleRegister)
+	w.mux.HandleFunc("/work", w.handleWork)
+	w.mux.HandleFunc("/result", w.handleResult)
+	w.mux.HandleFunc("/healthz", w.handleHealthz)
+	w.mux.HandleFunc("/drain", w.handleDrain)
+	return w
+}
+
+// ServeHTTP implements http.Handler.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }
+
+// Drain stops the worker accepting new units and waits for in-flight ones
+// to finish (or ctx to expire). Completed results stay queryable via
+// /result until the process exits.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		w.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(rw http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(rw, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (w *Worker) handleRegister(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var spec SweepSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(rw, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if got := spec.Fingerprint(); spec.Session != got {
+		writeError(rw, http.StatusBadRequest,
+			"session %q does not match the spec fingerprint %q", spec.Session, got)
+		return
+	}
+	if w.opts.RequireSim && spec.Timer.Backend != simtime.BackendSim {
+		writeError(rw, http.StatusConflict,
+			"worker runs with -sim and only accepts the %q backend, not %q",
+			simtime.BackendSim, spec.Timer.Backend)
+		return
+	}
+	op, err := spec.parseOp()
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	timer, err := spec.Timer.Build()
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	w.mu.Lock()
+	if w.session != spec.Session || w.run != spec.Run {
+		// A new sweep — or a fresh run of the same sweep — supersedes the
+		// previous unit state; results of in-flight old units are discarded
+		// when they land. Resetting on a new Run is what makes a repeated
+		// real-timing install re-measure instead of replaying cached
+		// wall-clock data from the previous run.
+		w.session = spec.Session
+		w.run = spec.Run
+		w.spec = spec
+		w.op = op
+		w.timer = timer
+		w.units = make(map[int]*unitState)
+	}
+	w.mu.Unlock()
+	w.opts.Logf("registered sweep %s: op=%s backend=%s candidates=%d iters=%d",
+		spec.Session, spec.Op, spec.Timer.Backend, len(spec.Candidates), spec.Iters)
+	writeJSON(rw, http.StatusOK, RegisterResponse{Worker: w.opts.Name, Backend: spec.Timer.Backend})
+}
+
+func (w *Worker) handleWork(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if w.draining.Load() {
+		writeError(rw, http.StatusServiceUnavailable, "worker is draining")
+		return
+	}
+	var req WorkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(rw, http.StatusBadRequest, "decode work request: %v", err)
+		return
+	}
+	if req.Unit.Start < 0 || req.Unit.Count < 1 {
+		writeError(rw, http.StatusBadRequest, "unit %d has invalid range [%d, %d)",
+			req.Unit.ID, req.Unit.Start, req.Unit.Start+req.Unit.Count)
+		return
+	}
+
+	w.mu.Lock()
+	if w.session == "" || req.Session != w.session {
+		w.mu.Unlock()
+		writeError(rw, http.StatusConflict, "session %q is not registered", req.Session)
+		return
+	}
+	if st, ok := w.units[req.Unit.ID]; ok && st.err == "" {
+		// Re-dispatch of a unit this worker already has running or done
+		// (e.g. after a coordinator-side poll failure): idempotent. A unit
+		// that FAILED falls through instead — caching the error would turn
+		// every retry into a replay of the stale failure, retiring a
+		// healthy worker without ever re-executing.
+		status := st.status
+		w.mu.Unlock()
+		writeJSON(rw, http.StatusAccepted, StatusResponse{Status: status})
+		return
+	}
+	w.units[req.Unit.ID] = &unitState{status: statusRunning}
+	session, run, spec, op, timer := w.session, w.run, w.spec, w.op, w.timer
+	w.mu.Unlock()
+
+	w.inflight.Add(1)
+	go w.exec(session, run, spec, op, timer, req.Unit)
+	writeJSON(rw, http.StatusAccepted, StatusResponse{Status: statusAccepted})
+}
+
+// exec runs one unit to completion and records its state. Units execute
+// through exactly the single-node sweep code path (core.SampleOpShapes +
+// core.MeasureSweep), which is what makes the distributed merge reproduce
+// the local gather.
+func (w *Worker) exec(session, run string, spec SweepSpec, op ops.Op, timer simtime.Timer, u Unit) {
+	defer w.inflight.Done()
+	w.sem <- struct{}{}
+	defer func() { <-w.sem }()
+	w.running.Add(1)
+	defer w.running.Add(-1)
+
+	if w.opts.ExecDelay != nil {
+		if d := w.opts.ExecDelay(u); d > 0 {
+			time.Sleep(d)
+		}
+	}
+
+	res, err := runUnit(spec, op, timer, u, w.opts.Name)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.session != session || w.run != run {
+		return // superseded by a new registration; drop the stale result
+	}
+	st := w.units[u.ID]
+	if st == nil {
+		return
+	}
+	if err != nil {
+		st.status = statusDone
+		st.err = err.Error()
+		w.opts.Logf("unit %d failed: %v", u.ID, err)
+		return
+	}
+	st.status = statusDone
+	st.result = res
+	w.opts.Logf("unit %d done: shapes [%d, %d)", u.ID, u.Start, u.Start+u.Count)
+}
+
+// runUnit executes one unit against the spec and returns its result.
+func runUnit(spec SweepSpec, op ops.Op, timer simtime.Timer, u Unit, worker string) (*UnitResult, error) {
+	shapes, err := core.SampleOpShapes(spec.Domain, spec.Seed, op, u.Start, u.Count)
+	if err != nil {
+		return nil, err
+	}
+	timings, err := core.MeasureSweep(timer, op, shapes, spec.Candidates, spec.Iters)
+	if err != nil {
+		return nil, err
+	}
+	return &UnitResult{
+		Session: spec.Session,
+		UnitID:  u.ID,
+		Start:   u.Start,
+		Count:   u.Count,
+		Worker:  worker,
+		Timings: timings,
+	}, nil
+}
+
+func (w *Worker) handleResult(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(rw, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	session := r.URL.Query().Get("session")
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "query parameter %q: want a unit id", "id")
+		return
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.session == "" || session != w.session {
+		writeError(rw, http.StatusConflict, "session %q is not registered", session)
+		return
+	}
+	st, ok := w.units[id]
+	if !ok {
+		writeError(rw, http.StatusNotFound, "unit %d is not known to this worker", id)
+		return
+	}
+	switch {
+	case st.status == statusRunning:
+		writeJSON(rw, http.StatusAccepted, StatusResponse{Status: statusRunning})
+	case st.err != "":
+		writeError(rw, http.StatusInternalServerError, "unit %d failed: %s", id, st.err)
+	default:
+		st.fetched = true
+		writeJSON(rw, http.StatusOK, st.result)
+	}
+}
+
+// Unfetched returns the number of successfully completed units whose result
+// has not yet been served to a coordinator — the work a draining daemon
+// should linger for so it is not thrown away.
+func (w *Worker) Unfetched() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, st := range w.units {
+		if st.status == statusDone && st.err == "" && !st.fetched {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitFetched blocks until every completed result has been fetched or ctx
+// expires — the post-drain linger that lets the coordinator collect the
+// final in-flight units before the daemon exits.
+func (w *Worker) WaitFetched(ctx context.Context) error {
+	for {
+		if w.Unfetched() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	session := w.session
+	completed := 0
+	for _, st := range w.units {
+		if st.status == statusDone {
+			completed++
+		}
+	}
+	w.mu.Unlock()
+	status := "ok"
+	if w.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(rw, http.StatusOK, StatusResponse{
+		Status:    status,
+		Session:   session,
+		Completed: completed,
+		Inflight:  int(w.running.Load()),
+		Draining:  w.draining.Load(),
+	})
+}
+
+func (w *Worker) handleDrain(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	w.draining.Store(true)
+	writeJSON(rw, http.StatusOK, StatusResponse{Status: "draining", Draining: true})
+}

@@ -13,6 +13,9 @@
 package serve
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -285,4 +288,117 @@ func (c *Cache) Reset() {
 	}
 	c.hits.Store(0)
 	c.misses.Store(0)
+}
+
+// Cache snapshots: Save/Load persist the decisions across daemon restarts
+// (adsala-serve -cache-snapshot), so a restarted server answers its warmed
+// working set from the first request instead of re-ranking it.
+
+// snapshotFormat versions the snapshot file.
+const snapshotFormat = "adsala-cache-snapshot-v1"
+
+// SnapshotEntry is one cached decision in a snapshot file.
+type SnapshotEntry struct {
+	Op      string `json:"op"`
+	M       int    `json:"m"`
+	K       int    `json:"k"`
+	N       int    `json:"n"`
+	Threads int    `json:"threads"`
+}
+
+// cacheSnapshot is the JSON layout of a snapshot file.
+type cacheSnapshot struct {
+	Format  string          `json:"format"`
+	Entries []SnapshotEntry `json:"entries"`
+}
+
+// Snapshot returns every cached decision, ordered least- to most-recently
+// used within each shard, so replaying the slice through Put reproduces the
+// per-shard LRU order.
+func (c *Cache) Snapshot() []SnapshotEntry {
+	var out []SnapshotEntry
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for i := s.tail; i >= 0; i = s.entries[i].prev {
+			e := &s.entries[i]
+			out = append(out, SnapshotEntry{
+				Op: e.key.op.String(),
+				M:  e.key.m, K: e.key.k, N: e.key.n,
+				Threads: e.threads,
+			})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Save writes the cached decisions to path as JSON. The write is atomic
+// (temp file + rename), so a crash mid-save leaves the previous snapshot
+// intact instead of a torn file the next boot refuses to load. Decisions
+// recorded while Save walks the shards may or may not be included; the
+// hit/miss counters are not persisted.
+func (c *Cache) Save(path string) error {
+	blob, err := json.Marshal(cacheSnapshot{Format: snapshotFormat, Entries: c.Snapshot()})
+	if err != nil {
+		return fmt.Errorf("serve: encode cache snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: write cache snapshot: %w", err)
+	}
+	_, werr := f.Write(append(blob, '\n'))
+	if werr == nil {
+		// Flush data before the rename commits the name: without it a
+		// power loss can publish a torn snapshot the next boot refuses.
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: write cache snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: commit cache snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load replays a snapshot written by Save into the cache and returns the
+// number of decisions restored. Entries beyond the capacity evict in LRU
+// order as usual; unknown ops or malformed files error without touching the
+// counters.
+func (c *Cache) Load(path string) (int, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("serve: read cache snapshot: %w", err)
+	}
+	var snap cacheSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return 0, fmt.Errorf("serve: decode cache snapshot %s: %w", path, err)
+	}
+	if snap.Format != snapshotFormat {
+		return 0, fmt.Errorf("serve: %s is not a cache snapshot (format %q)", path, snap.Format)
+	}
+	// Validate everything before touching the cache: a corrupt file must
+	// not leave it half-loaded.
+	parsed := make([]Op, len(snap.Entries))
+	for i, e := range snap.Entries {
+		op, err := ParseOp(e.Op)
+		if err != nil {
+			return 0, fmt.Errorf("serve: cache snapshot entry %d: %w", i, err)
+		}
+		if e.M < 1 || e.K < 1 || e.N < 1 || e.Threads < 1 {
+			return 0, fmt.Errorf("serve: cache snapshot entry %d: invalid decision %dx%dx%d -> %d",
+				i, e.M, e.K, e.N, e.Threads)
+		}
+		parsed[i] = op
+	}
+	for i, e := range snap.Entries {
+		c.Put(parsed[i], e.M, e.K, e.N, e.Threads)
+	}
+	return len(snap.Entries), nil
 }

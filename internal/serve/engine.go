@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ops"
 	"repro/internal/sampling"
 )
 
@@ -46,6 +47,10 @@ type Engine struct {
 	evalNanos   atomic.Int64 // cumulative time spent in cache-miss ranking
 	evals       atomic.Int64 // cache-miss rankings performed
 
+	// perOp splits the serving counters by operation (indexed by ops.Op);
+	// the aggregate counters above stay authoritative for compatibility.
+	perOp []opCounters
+
 	// Warm-up traffic recorded so Stats can report serving counters that
 	// exclude it: a warmed cache otherwise starts with thousands of
 	// synthetic misses and the /stats hit_rate understates real serving
@@ -53,6 +58,14 @@ type Engine struct {
 	warmPredictions atomic.Int64
 	warmHits        atomic.Int64
 	warmMisses      atomic.Int64
+	warmPerOp       []opCounters
+}
+
+// opCounters is one operation's share of the serving counters.
+type opCounters struct {
+	predictions atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
 }
 
 // NewEngine returns an Engine over the library with the given options.
@@ -62,9 +75,11 @@ func NewEngine(lib *core.Library, opts Options) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		lib:     lib,
-		cache:   NewCache(opts.CacheSize, opts.Shards),
-		workers: workers,
+		lib:       lib,
+		cache:     NewCache(opts.CacheSize, opts.Shards),
+		workers:   workers,
+		perOp:     make([]opCounters, ops.NumOps()),
+		warmPerOp: make([]opCounters, ops.NumOps()),
 	}
 	e.scratch.New = func() any { return lib.NewScratch() }
 	return e
@@ -85,12 +100,25 @@ func (e *Engine) Predict(m, k, n int) int { return e.PredictOp(OpGEMM, m, k, n) 
 // callers pass the (n, k, n) triple of the equivalent output shape.
 func (e *Engine) PredictOp(op Op, m, k, n int) int {
 	e.predictions.Add(1)
+	oc := e.opCounters(op)
+	oc.predictions.Add(1)
 	if threads, ok := e.cache.Get(op, m, k, n); ok {
+		oc.hits.Add(1)
 		return threads
 	}
+	oc.misses.Add(1)
 	threads := e.rank(op, m, k, n, nil)
 	e.cache.Put(op, m, k, n, threads)
 	return threads
+}
+
+// opCounters returns the op's counter slot (GEMM for out-of-range ops, so a
+// miscast op can never panic the hot path).
+func (e *Engine) opCounters(op Op) *opCounters {
+	if int(op) >= len(e.perOp) {
+		op = OpGEMM
+	}
+	return &e.perOp[op]
 }
 
 // CachedChoice returns the cached decision for (op, shape) without ranking,
@@ -130,6 +158,9 @@ func (e *Engine) Rank(m, k, n int) (scores []float64, best int) {
 func (e *Engine) RankOp(op Op, m, k, n int) (scores []float64, best int) {
 	e.predictions.Add(1)
 	e.cache.misses.Add(1)
+	oc := e.opCounters(op)
+	oc.predictions.Add(1)
+	oc.misses.Add(1)
 	scores = make([]float64, len(e.lib.Candidates))
 	best = e.rank(op, m, k, n, scores)
 	e.cache.Put(op, m, k, n, best)
@@ -182,6 +213,9 @@ func (e *Engine) PredictBatchOp(op Op, shapes []sampling.Shape, out []int) []int
 	if dups := len(shapes) - len(uniq); dups > 0 {
 		e.predictions.Add(int64(dups))
 		e.cache.hits.Add(int64(dups))
+		oc := e.opCounters(op)
+		oc.predictions.Add(int64(dups))
+		oc.hits.Add(int64(dups))
 	}
 
 	vals := make([]int, len(uniq))
@@ -218,35 +252,66 @@ func (e *Engine) PredictBatchOp(op Op, shapes []sampling.Shape, out []int) []int
 	return out
 }
 
-// Warmup pre-populates the GEMM decision cache with n quasi-random shapes
-// drawn from the given sampling domain — the same low-discrepancy generator
-// used at installation time, so the warmed set covers the trained
-// distribution. Returns the number of decisions computed.
+// Warmup pre-populates the decision cache with n quasi-random shapes per
+// operation, drawn from the given sampling domain — the same
+// low-discrepancy generator used at installation time, so the warmed set
+// covers the trained distribution. opSet selects the operations to warm;
+// empty means every op the library holds a trained model for (GEMM when the
+// bundle is empty), so SYRK/SYR2K caches pre-populate alongside GEMM on a
+// per-op-trained library. Shapes are canonicalised per op before warming
+// (symmetric updates fold to their (n, k, n) triple — the form runtime
+// queries arrive in). Returns the number of decisions computed across ops.
 //
 // The counter deltas incurred by the warm pass are recorded and excluded
-// from the serving statistics (Stats reports them separately): warm-up is
-// synthetic traffic, and its near-100% miss rate would otherwise depress
-// the reported hit_rate long into real serving. Warm-up is intended to run
-// before traffic arrives; requests served concurrently with a warm pass may
-// be attributed to it.
-func (e *Engine) Warmup(dom sampling.Domain, n int, seed int64) (int, error) {
+// from the serving statistics (Stats reports them separately, aggregate and
+// per op): warm-up is synthetic traffic, and its near-100% miss rate would
+// otherwise depress the reported hit_rate long into real serving. Warm-up
+// is intended to run before traffic arrives; requests served concurrently
+// with a warm pass may be attributed to it.
+func (e *Engine) Warmup(dom sampling.Domain, n int, seed int64, opSet ...Op) (int, error) {
 	if n <= 0 {
 		return 0, nil
 	}
-	sampler, err := sampling.NewSampler(dom, seed)
-	if err != nil {
-		return 0, fmt.Errorf("serve: warmup: %w", err)
+	if len(opSet) == 0 {
+		opSet = e.lib.TrainedOps()
+		if len(opSet) == 0 {
+			opSet = []Op{OpGEMM}
+		}
 	}
-	shapes := sampler.Sample(n)
-	p0 := e.predictions.Load()
-	h0, m0 := e.cache.Stats()
-	e.PredictBatch(shapes, nil)
-	p1 := e.predictions.Load()
-	h1, m1 := e.cache.Stats()
-	e.warmPredictions.Add(p1 - p0)
-	e.warmHits.Add(h1 - h0)
-	e.warmMisses.Add(m1 - m0)
-	return len(shapes), nil
+	for _, op := range opSet {
+		if !op.Valid() {
+			return 0, fmt.Errorf("serve: warmup: unknown op %v", op)
+		}
+	}
+	total := 0
+	for _, op := range opSet {
+		sampler, err := sampling.NewSampler(dom, seed)
+		if err != nil {
+			return total, fmt.Errorf("serve: warmup: %w", err)
+		}
+		shapes := sampler.Sample(n)
+		canon := op.Spec().Canon
+		for i, sh := range shapes {
+			shapes[i] = canon(sh)
+		}
+
+		oc := e.opCounters(op)
+		p0 := e.predictions.Load()
+		op0, oh0, om0 := oc.predictions.Load(), oc.hits.Load(), oc.misses.Load()
+		h0, m0 := e.cache.Stats()
+		e.PredictBatchOp(op, shapes, nil)
+		p1 := e.predictions.Load()
+		h1, m1 := e.cache.Stats()
+		e.warmPredictions.Add(p1 - p0)
+		e.warmHits.Add(h1 - h0)
+		e.warmMisses.Add(m1 - m0)
+		woc := &e.warmPerOp[op]
+		woc.predictions.Add(oc.predictions.Load() - op0)
+		woc.hits.Add(oc.hits.Load() - oh0)
+		woc.misses.Add(oc.misses.Load() - om0)
+		total += len(shapes)
+	}
+	return total, nil
 }
 
 // Stats is a point-in-time snapshot of the engine's counters. Predictions,
@@ -268,6 +333,17 @@ type Stats struct {
 	// MeanEvalMicros is the mean latency of one cache-miss candidate
 	// ranking in microseconds.
 	MeanEvalMicros float64 `json:"mean_eval_micros"`
+	// PerOp splits the serving counters (warm-up excluded, like the
+	// aggregates) by operation wire name; ops with no traffic are omitted.
+	PerOp map[string]OpStats `json:"per_op,omitempty"`
+}
+
+// OpStats is one operation's share of the serving counters.
+type OpStats struct {
+	Predictions int64   `json:"predictions"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
 }
 
 // Stats returns the current counters. Serving counters are clamped at zero:
@@ -293,6 +369,24 @@ func (e *Engine) Stats() Stats {
 	}
 	if evals := e.evals.Load(); evals > 0 {
 		st.MeanEvalMicros = float64(e.evalNanos.Load()) / float64(evals) / 1e3
+	}
+	for i := range e.perOp {
+		oc, woc := &e.perOp[i], &e.warmPerOp[i]
+		os := OpStats{
+			Predictions: max0(oc.predictions.Load() - woc.predictions.Load()),
+			CacheHits:   max0(oc.hits.Load() - woc.hits.Load()),
+			CacheMisses: max0(oc.misses.Load() - woc.misses.Load()),
+		}
+		if os.Predictions == 0 && os.CacheHits == 0 && os.CacheMisses == 0 {
+			continue
+		}
+		if total := os.CacheHits + os.CacheMisses; total > 0 {
+			os.HitRate = float64(os.CacheHits) / float64(total)
+		}
+		if st.PerOp == nil {
+			st.PerOp = make(map[string]OpStats, len(e.perOp))
+		}
+		st.PerOp[Op(i).String()] = os
 	}
 	return st
 }

@@ -1,0 +1,77 @@
+package simtime
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Timing-backend specification. The distributed gather must tell remote
+// workers how to construct the exact timer the coordinator would use locally
+// — a Timer value cannot travel over the wire, but a Spec can, and Build on
+// the worker reproduces the coordinator's backend bit for bit (the Simulator
+// is a pure function of its Config, so a sim sweep sharded across any number
+// of workers merges byte-identical to the single-node gather).
+
+// Backend names accepted by Spec.
+const (
+	// BackendSim selects the analytic Simulator over a named machine.Node.
+	BackendSim = "sim"
+	// BackendReal selects wall-clock timing of the local pure-Go kernels.
+	BackendReal = "real"
+)
+
+// Spec is a wire-serialisable description of a timing backend.
+type Spec struct {
+	// Backend is BackendSim or BackendReal.
+	Backend string `json:"backend"`
+	// Platform names the simulated machine.Node ("Gadi", "Setonix");
+	// sim backend only.
+	Platform string `json:"platform,omitempty"`
+	// Seed is the simulator's measurement-noise seed; sim backend only.
+	Seed int64 `json:"seed,omitempty"`
+	// HT enables hyper-threading on the simulated node; sim backend only.
+	HT bool `json:"ht,omitempty"`
+	// Iters is the RealTimer's averaged repetition count; real backend only.
+	Iters int `json:"iters,omitempty"`
+}
+
+// SimSpec returns the Spec describing the Simulator that DefaultConfig
+// builds for the named platform with the given seed and HT setting — the
+// counterpart of the adsala training-config construction.
+func SimSpec(platform string, seed int64, ht bool) Spec {
+	return Spec{Backend: BackendSim, Platform: platform, Seed: seed, HT: ht}
+}
+
+// RealSpec returns the Spec describing a local RealTimer averaging iters
+// repetitions.
+func RealSpec(iters int) Spec {
+	return Spec{Backend: BackendReal, Iters: iters}
+}
+
+// Build constructs the described timer. The sim backend reproduces the
+// DefaultConfig the training path uses (same noise level, blocking
+// parameters and affinity policy), overriding only seed and HT, so any two
+// parties building the same Spec time identically.
+func (s Spec) Build() (Timer, error) {
+	switch s.Backend {
+	case BackendSim:
+		node, err := machine.ByName(s.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("simtime: spec: %w", err)
+		}
+		cfg := DefaultConfig(node)
+		cfg.HT = s.HT
+		cfg.Seed = s.Seed
+		return New(cfg), nil
+	case BackendReal:
+		iters := s.Iters
+		if iters < 1 {
+			iters = 3
+		}
+		return NewRealTimer(iters), nil
+	default:
+		return nil, fmt.Errorf("simtime: spec: unknown backend %q (want %q or %q)",
+			s.Backend, BackendSim, BackendReal)
+	}
+}
