@@ -88,6 +88,11 @@ type TrainOptions struct {
 	// JSONL checkpoint (the op's wire name is appended per sweep). Empty
 	// disables checkpointing. Only meaningful with Workers.
 	Checkpoint string
+	// Logf receives install-time progress lines (currently the distributed
+	// gather's dispatch and merge narrative). Nil keeps the historical
+	// default of log.Printf with a "gather: " prefix; adsala-train wires
+	// its -log-level logger here so verbosity is controlled in one place.
+	Logf func(format string, args ...any)
 }
 
 // Report is the model-comparison outcome of installation (Tables III/IV):
@@ -237,15 +242,19 @@ func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
 	cfg.Models = core.DefaultModels(seed, opts.Quick)
 	cfg.Ops = opts.Ops
 	if len(opts.Workers) > 0 {
+		// A distributed sweep can run for hours; surface dispatch and merge
+		// progress through the caller's logger (the standard one when unset).
+		logf := opts.Logf
+		if logf == nil {
+			logf = func(format string, args ...any) {
+				log.Printf("gather: "+format, args...)
+			}
+		}
 		cfg.Gatherer = distgather.New(distgather.Config{
 			Workers:    opts.Workers,
 			Timer:      timerSpec,
 			Checkpoint: opts.Checkpoint,
-			// A distributed sweep can run for hours; surface dispatch and
-			// merge progress through the standard logger.
-			Logf: func(format string, args ...any) {
-				log.Printf("gather: "+format, args...)
-			},
+			Logf:       logf,
 		})
 	}
 	return cfg, nil
@@ -339,6 +348,10 @@ const (
 // TrainedOps returns the operations this library holds a model of its own
 // for (always at least OpGEMM; others fall back to the GEMM model).
 func (l *Library) TrainedOps() []Op { return l.inner.TrainedOps() }
+
+// FormatVersion reports the artefact format version (1 = single-model file,
+// 2 = per-op model bundles) — the value /healthz exposes.
+func (l *Library) FormatVersion() int { return l.inner.Format() }
 
 // sharedEngine returns the library's lazily created default engine — the
 // single cache every facade shares.

@@ -138,7 +138,7 @@ func runGemmBench(path string, smoke bool) error {
 		}
 		ctx.Close()
 		report.Results = append(report.Results, entry)
-		fmt.Fprintf(os.Stderr, "gemm-bench %-16s %8.2f GFLOPS  %3d allocs/op\n",
+		benchLog.Infof("gemm-bench %-16s %8.2f GFLOPS  %3d allocs/op",
 			bc.Name, entry.GFLOPS, entry.AllocsPerOp)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

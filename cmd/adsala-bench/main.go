@@ -12,6 +12,13 @@
 //	adsala-bench -syrk-json - -syrk-smoke
 //	adsala-bench -syr2k-json BENCH_syr2k.json
 //	adsala-bench -syr2k-json - -syr2k-smoke
+//	adsala-bench -serve-json BENCH_serve.json
+//	adsala-bench -serve-json - -serve-addr http://localhost:8080 -serve-duration 2s
+//
+// -serve-json appends a serving load-generator run (closed-loop mixed-op
+// clients, throughput and latency quantiles) to BENCH_serve.json; without
+// -serve-addr it boots an in-process daemon over a quick simulator
+// artefact (-serve-lib loads one instead).
 package main
 
 import (
@@ -19,9 +26,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/logx"
 )
+
+// benchLog carries the harnesses' per-case and summary progress lines
+// (stderr, so they never mix with JSON reports on stdout). main replaces it
+// once -log-level is parsed.
+var benchLog = logx.New(os.Stderr, logx.Info)
 
 func main() {
 	log.SetFlags(0)
@@ -36,8 +50,42 @@ func main() {
 		syrkSmoke  = flag.Bool("syrk-smoke", false, "with -syrk-json: run each case once without timing (CI regression guard)")
 		syr2kJSON  = flag.String("syr2k-json", "", "measure the SYR2K kernel and write a JSON report to this file (\"-\" for stdout), then exit")
 		syr2kSmoke = flag.Bool("syr2k-smoke", false, "with -syr2k-json: run each case once without timing (CI regression guard)")
+
+		serveJSON     = flag.String("serve-json", "", "run the serving load generator and append the run to this report file (\"-\" for stdout), then exit")
+		serveAddr     = flag.String("serve-addr", "", "with -serve-json: base URL of a running adsala-serve daemon (empty boots one in process)")
+		serveLib      = flag.String("serve-lib", "", "with -serve-json and no -serve-addr: artefact for the in-process daemon (empty trains a quick simulator one)")
+		serveClients  = flag.Int("serve-clients", 8, "with -serve-json: concurrent closed-loop clients")
+		serveDuration = flag.Duration("serve-duration", 5*time.Second, "with -serve-json: measured load duration")
+		serveOps      = flag.String("serve-ops", "gemm,syrk,syr2k", "with -serve-json: comma-separated operation mix")
+		serveBatch    = flag.Int("serve-batch", 1, "with -serve-json: shapes per request (1 = /predict, >1 = /batch)")
+		serveShapes   = flag.Int("serve-shapes", 512, "with -serve-json: distinct working-set shapes per op")
+		serveSeed     = flag.Int64("serve-seed", 17, "with -serve-json: working-set sampling seed")
+		levelStr      = logx.RegisterFlag(flag.CommandLine)
 	)
 	flag.Parse()
+
+	level, err := logx.ParseLevel(*levelStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benchLog = logx.New(os.Stderr, level)
+
+	if *serveJSON != "" {
+		if err := runServeBench(serveBenchConfig{
+			out:      *serveJSON,
+			addr:     *serveAddr,
+			lib:      *serveLib,
+			clients:  *serveClients,
+			duration: *serveDuration,
+			ops:      *serveOps,
+			batch:    *serveBatch,
+			shapes:   *serveShapes,
+			seed:     *serveSeed,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *gemmJSON != "" {
 		if err := runGemmBench(*gemmJSON, *gemmSmoke); err != nil {

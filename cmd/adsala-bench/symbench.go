@@ -189,7 +189,7 @@ func runSymBench(spec symBenchSpec, path string, smoke bool) error {
 		}
 		ctx.Close()
 		report.Results = append(report.Results, entry)
-		fmt.Fprintf(os.Stderr, "%s %-17s %8.2f GFLOPS  %3d allocs/op  %5.2fx vs naive\n",
+		benchLog.Infof("%s %-17s %8.2f GFLOPS  %3d allocs/op  %5.2fx vs naive",
 			spec.label, bc.Name, entry.GFLOPS, entry.AllocsPerOp, entry.SpeedupVsNaive)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

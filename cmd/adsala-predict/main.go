@@ -16,6 +16,7 @@ import (
 	"os"
 
 	adsala "repro"
+	"repro/internal/logx"
 	"repro/internal/tabulate"
 )
 
@@ -23,10 +24,11 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("adsala-predict", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		libPath = fs.String("lib", "adsala.json", "library file written by adsala-train")
-		m       = fs.Int("m", 1024, "rows of A / C")
-		k       = fs.Int("k", 1024, "cols of A / rows of B")
-		n       = fs.Int("n", 1024, "cols of B / C")
+		libPath  = fs.String("lib", "adsala.json", "library file written by adsala-train")
+		m        = fs.Int("m", 1024, "rows of A / C")
+		k        = fs.Int("k", 1024, "cols of A / rows of B")
+		n        = fs.Int("n", 1024, "cols of B / C")
+		levelStr = logx.RegisterFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -34,14 +36,21 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	level, err := logx.ParseLevel(*levelStr)
+	if err != nil {
+		return err
+	}
+	lg := logx.New(out, level)
 	if *m < 1 || *k < 1 || *n < 1 {
 		return fmt.Errorf("dimensions must be positive, got %dx%dx%d", *m, *k, *n)
 	}
 
+	lg.Debugf("loading library %s", *libPath)
 	lib, err := adsala.Load(*libPath)
 	if err != nil {
 		return err
 	}
+	lg.Debugf("library format v%d, trained ops %v", lib.FormatVersion(), lib.TrainedOps())
 	opt := lib.OptimalThreads(*m, *k, *n)
 	fmt.Fprintf(out, "library: platform=%s model=%s\n", lib.Platform(), lib.ModelKind())
 	fmt.Fprintf(out, "GEMM %dx%dx%d -> optimal threads: %d\n\n", *m, *k, *n, opt)

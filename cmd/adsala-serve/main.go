@@ -8,7 +8,9 @@
 //	POST /predict               {"m":..,"k":..,"n":..,"op":"gemm"|"syrk"|"syr2k"}
 //	POST /batch                 {"shapes":[{"m":..,"k":..,"n":..,"op":..},...]}
 //	GET  /stats                 cache, engine and HTTP latency metrics
-//	GET  /healthz               liveness probe
+//	GET  /healthz               readiness probe: 503 while starting or draining
+//	GET  /livez                 liveness probe: 200 whenever the process answers
+//	GET  /metrics               Prometheus text exposition
 //
 // The op field selects the registered operation the decision is for
 // (default "gemm"); decisions are cached per (op, shape) and rank with the
@@ -43,6 +45,7 @@ import (
 	"time"
 
 	adsala "repro"
+	"repro/internal/logx"
 	"repro/internal/sampling"
 	"repro/internal/serve"
 )
@@ -58,6 +61,8 @@ type config struct {
 	warmupCapMB int
 	warmupSeed  int64
 	snapshot    string
+	pprof       bool
+	level       logx.Level
 }
 
 // parseFlags parses args (without the program name) into a config. Usage
@@ -75,9 +80,16 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.IntVar(&cfg.warmupCapMB, "warmup-cap", 100, "memory cap in MB of the warm-up sampling domain")
 	fs.Int64Var(&cfg.warmupSeed, "warmup-seed", 1, "warm-up sampling seed")
 	fs.StringVar(&cfg.snapshot, "cache-snapshot", "", "decision-cache snapshot file: loaded at start when present, saved on graceful shutdown")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	level := logx.RegisterFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
+	lvl, err := logx.ParseLevel(*level)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.level = lvl
 	if cfg.warmup < 0 {
 		return cfg, fmt.Errorf("-warmup must be >= 0, got %d", cfg.warmup)
 	}
@@ -87,9 +99,11 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	return cfg, nil
 }
 
-// newServer loads the library, builds the warmed engine and returns the
-// HTTP front end. Progress lines go to out.
-func newServer(cfg config, out io.Writer) (*serve.Server, error) {
+// buildServer loads the library and returns the HTTP front end over a cold
+// engine — cheap enough to run before the listener starts. Progress lines
+// go to out at the configured -log-level.
+func buildServer(cfg config, out io.Writer) (*serve.Server, error) {
+	lg := logx.New(out, cfg.level)
 	lib, err := adsala.Load(cfg.libPath)
 	if err != nil {
 		return nil, err
@@ -99,8 +113,23 @@ func newServer(cfg config, out io.Writer) (*serve.Server, error) {
 		Shards:    cfg.shards,
 		Workers:   cfg.workers,
 	})
-	fmt.Fprintf(out, "loaded %s: platform=%s model=%s, cache %d entries / %d shards\n",
+	lg.Infof("loaded %s: platform=%s model=%s, cache %d entries / %d shards",
 		cfg.libPath, lib.Platform(), lib.ModelKind(), eng.Cache().Capacity(), eng.Cache().Shards())
+	srv := serve.NewServer(eng)
+	if cfg.pprof {
+		srv.EnablePprof()
+		lg.Infof("pprof enabled at /debug/pprof/")
+	}
+	return srv, nil
+}
+
+// prepare runs the potentially slow boot phases — snapshot restore and
+// cache warm-up. The daemon runs it with the listener already up and
+// readiness off, so probes see 503 "starting" rather than connection
+// refused during a long warm-up.
+func prepare(cfg config, srv *serve.Server, out io.Writer) error {
+	lg := logx.New(out, cfg.level)
+	eng := srv.Engine()
 	if cfg.snapshot != "" {
 		n, err := eng.Cache().Load(cfg.snapshot)
 		switch {
@@ -110,9 +139,9 @@ func newServer(cfg config, out io.Writer) (*serve.Server, error) {
 			// cold (and overwriting the file on exit) would lose the
 			// operator's warmed working set.
 		case err != nil:
-			return nil, err
+			return err
 		default:
-			fmt.Fprintf(out, "restored %d cached decisions from %s\n", n, cfg.snapshot)
+			lg.Infof("restored %d cached decisions from %s", n, cfg.snapshot)
 		}
 	}
 	if cfg.warmup > 0 {
@@ -121,11 +150,26 @@ func newServer(cfg config, out io.Writer) (*serve.Server, error) {
 		// Warms every op the library holds a trained model for.
 		n, err := eng.Warmup(dom, cfg.warmup, cfg.warmupSeed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fmt.Fprintf(out, "warmed %d decisions in %v\n", n, time.Since(start).Round(time.Millisecond))
+		lg.Infof("warmed %d decisions in %v", n, time.Since(start).Round(time.Millisecond))
 	}
-	return serve.NewServer(eng), nil
+	return nil
+}
+
+// newServer builds the fully prepared front end in one call — the
+// in-process construction path used by tests and embedders; the daemon's
+// run() interleaves the same two phases around the listener start.
+func newServer(cfg config, out io.Writer) (*serve.Server, error) {
+	srv, err := buildServer(cfg, out)
+	if err != nil {
+		return nil, err
+	}
+	if err := prepare(cfg, srv, out); err != nil {
+		return nil, err
+	}
+	srv.SetReady(true)
+	return srv, nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -136,24 +180,40 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	handler, err := newServer(cfg, out)
+	lg := logx.New(out, cfg.level)
+	handler, err := buildServer(cfg, out)
 	if err != nil {
 		return err
 	}
+	handler.SetReady(false)
 	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(out, "serving on %s\n", cfg.addr)
+		lg.Infof("serving on %s", cfg.addr)
 		errc <- srv.ListenAndServe()
 	}()
+	// Restore and warm with the listener already up: /healthz answers 503
+	// "starting" until the cache is ready, /livez and /metrics work
+	// throughout.
+	if err := prepare(cfg, handler, out); err != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		return err
+	}
+	handler.SetReady(true)
+	lg.Infof("ready")
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		fmt.Fprintln(out, "shutting down")
+		// Flip readiness before the listener closes so probes observe the
+		// drain instead of racing connection resets.
+		handler.SetReady(false)
+		lg.Infof("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		shutdownErr := srv.Shutdown(shutdownCtx)
@@ -169,7 +229,7 @@ func run(args []string, out io.Writer) error {
 				}
 				return err
 			}
-			fmt.Fprintf(out, "saved %d cached decisions to %s\n", cache.Len(), cfg.snapshot)
+			lg.Infof("saved %d cached decisions to %s", cache.Len(), cfg.snapshot)
 		}
 		return shutdownErr
 	}

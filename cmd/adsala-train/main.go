@@ -28,9 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	adsala "repro"
+	"repro/internal/logx"
 )
 
 func main() {
@@ -48,8 +50,15 @@ func main() {
 		workers  = flag.String("workers", "", "comma-separated adsala-worker addresses to shard the timing sweep across (empty = single-node gather)")
 		ckpt     = flag.String("checkpoint", "", "resumable gather checkpoint path prefix (distributed gather only; per-op suffix appended)")
 		out      = flag.String("out", "adsala.json", "output library file")
+		levelStr = logx.RegisterFlag(flag.CommandLine)
 	)
 	flag.Parse()
+
+	level, err := logx.ParseLevel(*levelStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lg := logx.New(os.Stderr, level)
 
 	trainOps, err := adsala.ParseOps(*opsFlag)
 	if err != nil {
@@ -80,6 +89,9 @@ func main() {
 		Ops:        trainOps,
 		Workers:    workerList,
 		Checkpoint: *ckpt,
+		Logf: func(format string, args ...any) {
+			lg.Infof("gather: "+format, args...)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

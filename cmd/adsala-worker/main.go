@@ -10,7 +10,10 @@
 //	POST /work      accept one work unit ({start, count} into the sweep's
 //	                deterministic Halton sample stream); executes async
 //	GET  /result    poll one unit's result (?session=&id=)
-//	GET  /healthz   liveness, session and progress probe
+//	GET  /healthz   readiness probe: 503 until a sweep is registered and
+//	                once drain begins
+//	GET  /livez     liveness probe: 200 whenever the process answers
+//	GET  /metrics   Prometheus text exposition
 //	POST /drain     stop accepting new units; in-flight units finish
 //
 // The timing backend comes from the coordinator's spec: simtime.RealTimer
@@ -42,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/gather"
+	"repro/internal/logx"
 )
 
 // config is the parsed command line of the daemon.
@@ -52,6 +56,7 @@ type config struct {
 	concurrency  int
 	drainTimeout time.Duration
 	linger       time.Duration
+	level        logx.Level
 }
 
 // parseFlags parses args (without the program name) into a config. Usage
@@ -66,9 +71,15 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.IntVar(&cfg.concurrency, "concurrency", 1, "units executed in parallel (1 keeps the machine idle for timing)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight units on shutdown")
 	fs.DurationVar(&cfg.linger, "linger", 10*time.Second, "max wait after drain for the coordinator to fetch completed results")
+	level := logx.RegisterFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
+	lvl, err := logx.ParseLevel(*level)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.level = lvl
 	if cfg.concurrency < 1 {
 		return cfg, fmt.Errorf("-concurrency must be >= 1, got %d", cfg.concurrency)
 	}
@@ -87,13 +98,15 @@ func run(args []string, out io.Writer) error {
 	if name == "" {
 		name = cfg.addr
 	}
+	// One leveled logger for the whole daemon: lifecycle lines at info,
+	// per-unit execution noise at debug.
+	lg := logx.New(out, cfg.level)
 	worker := gather.NewWorker(gather.WorkerOptions{
 		Name:        name,
 		RequireSim:  cfg.sim,
 		Concurrency: cfg.concurrency,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(out, format+"\n", a...)
-		},
+		Logf:        lg.Infof,
+		DebugLogf:   lg.Debugf,
 	})
 	srv := &http.Server{Addr: cfg.addr, Handler: worker}
 
@@ -105,29 +118,29 @@ func run(args []string, out io.Writer) error {
 		if cfg.sim {
 			mode = "simulator only"
 		}
-		fmt.Fprintf(out, "worker %s listening on %s (%s)\n", name, cfg.addr, mode)
+		lg.Infof("worker %s listening on %s (%s)", name, cfg.addr, mode)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		fmt.Fprintln(out, "draining")
+		lg.Infof("draining")
 		drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 		defer cancel()
 		if err := worker.Drain(drainCtx); err != nil {
-			fmt.Fprintf(out, "drain: %v (shutting down anyway)\n", err)
+			lg.Infof("drain: %v (shutting down anyway)", err)
 		}
 		// Keep /result answering until the coordinator has collected every
 		// completed unit (bounded by -linger): shutting down the instant
 		// the kernels finish would discard exactly the work the drain
 		// waited for, and stall the coordinator for a full unit timeout.
 		if worker.Unfetched() > 0 {
-			fmt.Fprintf(out, "lingering for %d unfetched results\n", worker.Unfetched())
+			lg.Infof("lingering for %d unfetched results", worker.Unfetched())
 			lingerCtx, cancel2 := context.WithTimeout(context.Background(), cfg.linger)
 			defer cancel2()
 			if err := worker.WaitFetched(lingerCtx); err != nil {
-				fmt.Fprintf(out, "linger: %v (shutting down anyway)\n", err)
+				lg.Infof("linger: %v (shutting down anyway)", err)
 			}
 		}
 		shutdownCtx, cancel3 := context.WithTimeout(context.Background(), 5*time.Second)

@@ -298,6 +298,21 @@ type Library struct {
 
 	// models is indexed by ops.Op; nil entries fall back to GEMM.
 	models []*OpModel
+
+	// format is the artefact format version this library was loaded from
+	// (0 for libraries built in-process, which save as the current
+	// version). Read through Format.
+	format int
+}
+
+// Format returns the artefact format version of the library: the version
+// of the file it was loaded from, or the current save format for a
+// library trained in-process.
+func (l *Library) Format() int {
+	if l.format == 0 {
+		return formatVersion
+	}
+	return l.format
 }
 
 // SetModel installs the trained model for an operation.

@@ -149,7 +149,7 @@ func loadV1(path string, blob []byte) (*Library, error) {
 	if err != nil {
 		return nil, err
 	}
-	lib := &Library{Platform: f.Platform, Candidates: sortedCopy(f.Candidates)}
+	lib := &Library{Platform: f.Platform, Candidates: sortedCopy(f.Candidates), format: formatVersionV1}
 	lib.SetModel(ops.GEMM, m)
 	return lib, nil
 }
@@ -166,7 +166,7 @@ func loadV2(path string, blob []byte) (*Library, error) {
 	if len(f.Ops) == 0 {
 		return nil, fmt.Errorf("core: library %s has no trained models", path)
 	}
-	lib := &Library{Platform: f.Platform, Candidates: sortedCopy(f.Candidates)}
+	lib := &Library{Platform: f.Platform, Candidates: sortedCopy(f.Candidates), format: formatVersion}
 	for name, mf := range f.Ops {
 		op, err := ops.Parse(name)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/simtime"
 )
@@ -48,6 +49,12 @@ type Config struct {
 	HTTP *http.Client
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the coordinator's Prometheus
+	// instruments (unit dispatch/retry/duplicate counters, checkpoint
+	// writes, per-worker outcome counters and latency histograms).
+	// Counters accumulate across Gather calls on the same registry — a
+	// multi-op Train shares one set of instruments.
+	Metrics *obs.Registry
 }
 
 // Stats summarises one completed (or failed) Gather run.
@@ -72,7 +79,8 @@ type Stats struct {
 // merged sweep is ordered by sample index and therefore identical to the
 // single-node gather for a deterministic timer.
 type Coordinator struct {
-	cfg Config
+	cfg     Config
+	metrics *coordMetrics
 
 	mu   sync.Mutex
 	last Stats
@@ -101,7 +109,7 @@ func New(cfg Config) *Coordinator {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Coordinator{cfg: cfg}
+	return &Coordinator{cfg: cfg, metrics: newCoordMetrics(cfg.Metrics)}
 }
 
 // Stats returns the statistics of the most recent Gather run.
@@ -231,6 +239,7 @@ func (c *Coordinator) Gather(gcfg core.GatherConfig) ([]core.ShapeTimings, error
 	}
 	defer ck.close()
 	stats.Resumed = len(completed)
+	c.metrics.planned(len(units), len(completed))
 
 	// A fully-checkpointed sweep needs no fleet at all — re-running the
 	// install after a post-gather crash must not depend on the workers
@@ -257,6 +266,7 @@ func (c *Coordinator) Gather(gcfg core.GatherConfig) ([]core.ShapeTimings, error
 		return nil, fmt.Errorf("gather: none of the %d configured workers accepted the sweep", len(c.cfg.Workers))
 	}
 	stats.WorkersRegistered = len(live)
+	c.metrics.fleetRegistered(len(live))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -289,11 +299,15 @@ func (c *Coordinator) Gather(gcfg core.GatherConfig) ([]core.ShapeTimings, error
 	merge := func(res UnitResult) error {
 		if !mergeResult(completed, res) {
 			r.duplicates.Add(1)
+			c.metrics.unitDuplicate()
 			return nil
 		}
 		outstanding--
 		if err := ck.append(res); err != nil {
 			return err
+		}
+		if ck.enabled() {
+			c.metrics.checkpointWrite()
 		}
 		c.cfg.Logf("unit %d/%d merged (worker %s, %d remaining)",
 			res.UnitID+1, len(units), res.Worker, outstanding)
@@ -365,6 +379,7 @@ func mergeResult(completed map[int][]core.ShapeTimings, res UnitResult) bool {
 // accumulates too many consecutive failures.
 func (c *Coordinator) workerLoop(r *run, base string, spec SweepSpec, results chan<- UnitResult) {
 	failures := 0
+	wv := c.metrics.worker(base)
 	for {
 		if r.ctx.Err() != nil {
 			return
@@ -380,11 +395,13 @@ func (c *Coordinator) workerLoop(r *run, base string, spec SweepSpec, results ch
 			}
 			continue
 		}
+		start := time.Now()
 		res, err := c.runUnit(r.ctx, base, spec, pu.unit)
 		if err != nil {
 			if r.ctx.Err() != nil {
 				return
 			}
+			wv.observe(time.Since(start), true)
 			c.cfg.Logf("worker %s: unit %d attempt %d failed: %v", base, pu.unit.ID, pu.tries+1, err)
 			c.requeue(r, pu, base, err)
 			failures++
@@ -394,8 +411,10 @@ func (c *Coordinator) workerLoop(r *run, base string, spec SweepSpec, results ch
 			}
 			continue
 		}
+		wv.observe(time.Since(start), false)
 		failures = 0
 		r.dispatched.Add(1)
+		c.metrics.unitDispatched()
 		select {
 		case results <- *res:
 		case <-r.ctx.Done():
@@ -413,6 +432,7 @@ func (c *Coordinator) requeue(r *run, pu pendingUnit, base string, err error) {
 		return
 	}
 	r.retries.Add(1)
+	c.metrics.unitRetried()
 	r.queue.push(pu)
 }
 

@@ -137,14 +137,15 @@ type RegisterResponse struct {
 }
 
 // StatusResponse is the JSON answer of /work, pending /result polls, /drain
-// and /healthz.
+// and the /healthz and /livez probes.
 type StatusResponse struct {
 	Status string `json:"status"`
-	// Session, Completed, Inflight and Draining are populated by /healthz.
-	Session   string `json:"session,omitempty"`
-	Completed int    `json:"completed,omitempty"`
-	Inflight  int    `json:"inflight,omitempty"`
-	Draining  bool   `json:"draining,omitempty"`
+	// Session through Draining are populated by the health probes.
+	Session    string `json:"session,omitempty"`
+	Registered bool   `json:"registered,omitempty"`
+	Completed  int    `json:"completed,omitempty"`
+	Inflight   int    `json:"inflight,omitempty"`
+	Draining   bool   `json:"draining,omitempty"`
 }
 
 // Unit states reported by the worker.

@@ -1,0 +1,122 @@
+package gather
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// coordMetrics is the coordinator's instrument set over an optional
+// registry. A nil *coordMetrics (no registry configured) no-ops on every
+// method, so the gather path carries no conditionals.
+type coordMetrics struct {
+	reg        *obs.Registry
+	units      *obs.Counter
+	resumed    *obs.Counter
+	dispatched *obs.Counter
+	retried    *obs.Counter
+	duplicates *obs.Counter
+	ckWrites   *obs.Counter
+	registered *obs.Gauge
+}
+
+// newCoordMetrics registers the coordinator families on reg; nil reg
+// returns a nil (no-op) instance.
+func newCoordMetrics(reg *obs.Registry) *coordMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &coordMetrics{
+		reg: reg,
+		units: reg.Counter("adsala_gather_units_total",
+			"Sweep units planned across Gather runs."),
+		resumed: reg.Counter("adsala_gather_units_resumed_total",
+			"Units satisfied by the checkpoint without dispatch."),
+		dispatched: reg.Counter("adsala_gather_units_dispatched_total",
+			"Unit executions successfully fetched from workers."),
+		retried: reg.Counter("adsala_gather_units_retried_total",
+			"Unit re-dispatches after a worker failure or timeout."),
+		duplicates: reg.Counter("adsala_gather_units_duplicate_total",
+			"Results dropped by the merge dedup."),
+		ckWrites: reg.Counter("adsala_gather_checkpoint_writes_total",
+			"Unit results appended to the JSONL checkpoint."),
+		registered: reg.Gauge("adsala_gather_workers_registered",
+			"Workers that accepted the current sweep spec."),
+	}
+}
+
+func (m *coordMetrics) planned(units, resumed int) {
+	if m == nil {
+		return
+	}
+	m.units.Add(int64(units))
+	m.resumed.Add(int64(resumed))
+}
+
+func (m *coordMetrics) fleetRegistered(n int) {
+	if m == nil {
+		return
+	}
+	m.registered.Set(float64(n))
+}
+
+func (m *coordMetrics) unitDispatched() {
+	if m != nil {
+		m.dispatched.Inc()
+	}
+}
+
+func (m *coordMetrics) unitRetried() {
+	if m != nil {
+		m.retried.Inc()
+	}
+}
+
+func (m *coordMetrics) unitDuplicate() {
+	if m != nil {
+		m.duplicates.Inc()
+	}
+}
+
+func (m *coordMetrics) checkpointWrite() {
+	if m != nil {
+		m.ckWrites.Inc()
+	}
+}
+
+// workerView is one worker's outcome counters and latency histogram,
+// labelled by its base URL.
+type workerView struct {
+	ok      *obs.Counter
+	failed  *obs.Counter
+	seconds *obs.Histogram
+}
+
+// worker returns (idempotently, via the registry) the instruments for one
+// worker base URL; nil metrics yields a no-op view.
+func (m *coordMetrics) worker(base string) workerView {
+	if m == nil {
+		return workerView{}
+	}
+	lbl := obs.L("worker", base)
+	return workerView{
+		ok: m.reg.Counter("adsala_gather_worker_units_total",
+			"Unit executions per worker and result.", lbl, obs.L("result", "ok")),
+		failed: m.reg.Counter("adsala_gather_worker_units_total",
+			"Unit executions per worker and result.", lbl, obs.L("result", "error")),
+		seconds: m.reg.Histogram("adsala_gather_worker_unit_seconds",
+			"Dispatch-to-result wall time of one unit on one worker.", 1e-9, lbl),
+	}
+}
+
+func (v workerView) observe(d time.Duration, failed bool) {
+	if v.seconds == nil {
+		return
+	}
+	v.seconds.Observe(d.Nanoseconds())
+	if failed {
+		v.failed.Inc()
+	} else {
+		v.ok.Inc()
+	}
+}

@@ -1,0 +1,151 @@
+package gather
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/ops"
+)
+
+// scrape fetches a /metrics exposition and returns its text.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestWorkerReadinessLifecycle pins the probe contract: /healthz is 503
+// "starting" before the first registration, 200 "ok" after, 503
+// "draining" once drain begins; /livez answers 200 throughout.
+func TestWorkerReadinessLifecycle(t *testing.T) {
+	gcfg, spec := testGatherConfig(t, ops.GEMM, 6)
+	_ = gcfg
+	w, srv := startWorker(t, WorkerOptions{Name: "w1"})
+
+	probe := func(path string) (int, StatusResponse) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st
+	}
+
+	if code, st := probe("/healthz"); code != http.StatusServiceUnavailable || st.Status != "starting" || st.Registered {
+		t.Fatalf("unregistered healthz = %d %+v", code, st)
+	}
+	if code, _ := probe("/livez"); code != http.StatusOK {
+		t.Fatalf("unregistered livez = %d", code)
+	}
+
+	// Register a sweep: readiness flips.
+	sweep := SweepSpec{
+		Op: "gemm", Timer: spec, Domain: gcfg.Domain, Seed: gcfg.Seed,
+		Candidates: gcfg.Candidates, Iters: gcfg.Iters, Run: "r1",
+	}
+	sweep.Session = sweep.Fingerprint()
+	coord := New(fastCoordinator([]string{srv.URL}, spec))
+	if err := coord.postJSON(srv.URL+"/register", sweep, nil); err != nil {
+		t.Fatal(err)
+	}
+	if code, st := probe("/healthz"); code != http.StatusOK || st.Status != "ok" || !st.Registered {
+		t.Fatalf("registered healthz = %d %+v", code, st)
+	}
+
+	// Drain: readiness flips off again, liveness stays.
+	resp, err := http.Post(srv.URL+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if code, st := probe("/healthz"); code != http.StatusServiceUnavailable || st.Status != "draining" {
+		t.Fatalf("draining healthz = %d %+v", code, st)
+	}
+	if code, _ := probe("/livez"); code != http.StatusOK {
+		t.Fatalf("draining livez = %d", code)
+	}
+	_ = w
+}
+
+// TestGatherMetricsEndToEnd runs one distributed sweep with a metrics
+// registry on both sides and checks the coordinator and worker expositions
+// account for every unit.
+func TestGatherMetricsEndToEnd(t *testing.T) {
+	gcfg, spec := testGatherConfig(t, ops.GEMM, 9)
+	_, s1 := startWorker(t, WorkerOptions{Name: "w1"})
+
+	reg := obs.NewRegistry()
+	cfg := fastCoordinator([]string{s1.URL}, spec)
+	cfg.Metrics = reg
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "gather.ckpt")
+	coord := New(cfg)
+	if _, err := coord.Gather(gcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	text := b.String()
+	// 9 shapes at 3 per unit = 3 units, all dispatched, all checkpointed.
+	for _, want := range []string{
+		"adsala_gather_units_total 3",
+		"adsala_gather_units_dispatched_total 3",
+		"adsala_gather_checkpoint_writes_total 3",
+		"adsala_gather_workers_registered 1",
+		`adsala_gather_worker_units_total{result="ok",worker="` + s1.URL + `"} 3`,
+		`adsala_gather_worker_unit_seconds_count{worker="` + s1.URL + `"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("coordinator exposition lacks %q:\n%s", want, text)
+		}
+	}
+
+	wtext := scrape(t, s1.URL)
+	for _, want := range []string{
+		"adsala_worker_units_accepted_total 3",
+		"adsala_worker_units_completed_total 3",
+		"adsala_worker_units_failed_total 0",
+		"adsala_worker_unit_seconds_count 3",
+		"adsala_worker_registered 1",
+		"adsala_worker_draining 0",
+	} {
+		if !strings.Contains(wtext, want) {
+			t.Errorf("worker exposition lacks %q:\n%s", want, wtext)
+		}
+	}
+
+	// A second sweep on the same registry accumulates rather than panics —
+	// the idempotent-registration contract multi-op Train relies on.
+	gcfg2, _ := testGatherConfig(t, ops.SYRK, 6)
+	cfg2 := cfg
+	cfg2.Checkpoint = filepath.Join(t.TempDir(), "gather2.ckpt")
+	if _, err := New(cfg2).Gather(gcfg2); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	reg.WriteText(&b)
+	if !strings.Contains(b.String(), "adsala_gather_units_total 5") {
+		t.Errorf("second sweep did not accumulate units_total:\n%s", b.String())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/simtime"
 )
@@ -27,8 +28,13 @@ type WorkerOptions struct {
 	// deliberate: timing wants an otherwise idle machine, and a worker
 	// running two units concurrently would perturb both measurements.
 	Concurrency int
-	// Logf receives progress lines; nil discards them.
+	// Logf receives lifecycle progress lines (sweep registration); nil
+	// discards them.
 	Logf func(format string, args ...any)
+	// DebugLogf receives per-unit progress lines — one per executed unit,
+	// noisy on big sweeps. Nil falls back to Logf, so embedders that wire
+	// only one sink keep today's behaviour.
+	DebugLogf func(format string, args ...any)
 	// ExecDelay, when non-nil, returns an artificial delay inserted before
 	// a unit executes — the fault-injection hook the slow-worker tests use.
 	ExecDelay func(u Unit) time.Duration
@@ -61,6 +67,12 @@ type Worker struct {
 	inflight sync.WaitGroup
 	running  atomic.Int64
 
+	reg            *obs.Registry
+	unitsAccepted  *obs.Counter
+	unitsCompleted *obs.Counter
+	unitsFailed    *obs.Counter
+	unitSeconds    *obs.Histogram
+
 	mu      sync.Mutex
 	session string
 	run     string
@@ -81,19 +93,61 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.DebugLogf == nil {
+		opts.DebugLogf = opts.Logf
+	}
 	w := &Worker{
 		opts:  opts,
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, opts.Concurrency),
 		units: make(map[int]*unitState),
+		reg:   obs.NewRegistry(),
 	}
+	w.unitsAccepted = w.reg.Counter("adsala_worker_units_accepted_total",
+		"Work units accepted for execution.")
+	w.unitsCompleted = w.reg.Counter("adsala_worker_units_completed_total",
+		"Work units executed to a successful result.")
+	w.unitsFailed = w.reg.Counter("adsala_worker_units_failed_total",
+		"Work unit executions that ended in an error.")
+	w.unitSeconds = w.reg.Histogram("adsala_worker_unit_seconds",
+		"Wall time of one unit execution.", 1e-9)
+	w.reg.GaugeFunc("adsala_worker_inflight_units",
+		"Units currently executing.",
+		func() float64 { return float64(w.running.Load()) })
+	w.reg.GaugeFunc("adsala_worker_draining",
+		"1 once drain has begun, else 0.",
+		func() float64 {
+			if w.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	w.reg.GaugeFunc("adsala_worker_registered",
+		"1 once a sweep session is registered, else 0.",
+		func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			if w.session != "" {
+				return 1
+			}
+			return 0
+		})
+	w.reg.GaugeFunc("adsala_worker_results_unfetched",
+		"Completed results not yet collected by a coordinator.",
+		func() float64 { return float64(w.Unfetched()) })
 	w.mux.HandleFunc("/register", w.handleRegister)
 	w.mux.HandleFunc("/work", w.handleWork)
 	w.mux.HandleFunc("/result", w.handleResult)
 	w.mux.HandleFunc("/healthz", w.handleHealthz)
+	w.mux.HandleFunc("/livez", w.handleLivez)
 	w.mux.HandleFunc("/drain", w.handleDrain)
+	w.mux.Handle("/metrics", w.reg.Handler())
 	return w
 }
+
+// Registry returns the worker's metrics registry (served at /metrics), so
+// the daemon can attach process-level instruments alongside the worker's.
+func (w *Worker) Registry() *obs.Registry { return w.reg }
 
 // ServeHTTP implements http.Handler.
 func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }
@@ -227,6 +281,7 @@ func (w *Worker) handleWork(rw http.ResponseWriter, r *http.Request) {
 	session, run, spec, op, timer := w.session, w.run, w.spec, w.op, w.timer
 	w.mu.Unlock()
 
+	w.unitsAccepted.Inc()
 	w.inflight.Add(1)
 	go w.exec(session, run, spec, op, timer, req.Unit)
 	writeJSON(rw, http.StatusAccepted, StatusResponse{Status: statusAccepted})
@@ -249,7 +304,14 @@ func (w *Worker) exec(session, run string, spec SweepSpec, op ops.Op, timer simt
 		}
 	}
 
+	start := time.Now()
 	res, err := runUnit(spec, op, timer, u, w.opts.Name)
+	w.unitSeconds.ObserveSince(start)
+	if err != nil {
+		w.unitsFailed.Inc()
+	} else {
+		w.unitsCompleted.Inc()
+	}
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -263,12 +325,12 @@ func (w *Worker) exec(session, run string, spec SweepSpec, op ops.Op, timer simt
 	if err != nil {
 		st.status = statusDone
 		st.err = err.Error()
-		w.opts.Logf("unit %d failed: %v", u.ID, err)
+		w.opts.DebugLogf("unit %d failed: %v", u.ID, err)
 		return
 	}
 	st.status = statusDone
 	st.result = res
-	w.opts.Logf("unit %d done: shapes [%d, %d)", u.ID, u.Start, u.Start+u.Count)
+	w.opts.DebugLogf("unit %d done: shapes [%d, %d)", u.ID, u.Start, u.Start+u.Count)
 }
 
 // runUnit executes one unit against the spec and returns its result.
@@ -356,7 +418,9 @@ func (w *Worker) WaitFetched(ctx context.Context) error {
 	}
 }
 
-func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+// statusBody assembles the shared health payload and whether the worker is
+// ready for coordinator traffic: registered and not draining.
+func (w *Worker) statusBody() (StatusResponse, bool) {
 	w.mu.Lock()
 	session := w.session
 	completed := 0
@@ -366,17 +430,42 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.mu.Unlock()
+	draining := w.draining.Load()
 	status := "ok"
-	if w.draining.Load() {
+	switch {
+	case draining:
 		status = "draining"
+	case session == "":
+		status = "starting"
 	}
-	writeJSON(rw, http.StatusOK, StatusResponse{
-		Status:    status,
-		Session:   session,
-		Completed: completed,
-		Inflight:  int(w.running.Load()),
-		Draining:  w.draining.Load(),
-	})
+	return StatusResponse{
+		Status:     status,
+		Session:    session,
+		Registered: session != "",
+		Completed:  completed,
+		Inflight:   int(w.running.Load()),
+		Draining:   draining,
+	}, status == "ok"
+}
+
+// handleHealthz is the readiness probe: 200 only once a sweep session has
+// been registered and drain has not begun, 503 otherwise — so a load
+// balancer (or the CI wait loop) routing coordinator traffic by readiness
+// skips workers that would refuse it anyway.
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	body, ready := w.statusBody()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(rw, status, body)
+}
+
+// handleLivez is the liveness probe: 200 whenever the process answers,
+// registered or not.
+func (w *Worker) handleLivez(rw http.ResponseWriter, r *http.Request) {
+	body, _ := w.statusBody()
+	writeJSON(rw, http.StatusOK, body)
 }
 
 func (w *Worker) handleDrain(rw http.ResponseWriter, r *http.Request) {

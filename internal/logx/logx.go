@@ -1,0 +1,89 @@
+// Package logx is the leveled logger shared by the cmd/ binaries. Every
+// daemon and CLI takes the same -log-level flag (quiet, info, debug) and
+// routes its progress lines through one Logger, so verbosity behaves
+// identically across the toolchain instead of each binary improvising with
+// bare log.Printf.
+package logx
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Level orders log verbosity: Quiet suppresses everything, Info is the
+// default operational narrative, Debug adds per-item noise (per-unit,
+// per-request lines).
+type Level int
+
+const (
+	Quiet Level = iota
+	Info
+	Debug
+)
+
+// String returns the flag spelling of the level.
+func (l Level) String() string {
+	switch l {
+	case Quiet:
+		return "quiet"
+	case Debug:
+		return "debug"
+	default:
+		return "info"
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "quiet", "q", "silent":
+		return Quiet, nil
+	case "info", "":
+		return Info, nil
+	case "debug", "verbose":
+		return Debug, nil
+	}
+	return Info, fmt.Errorf("unknown log level %q (want quiet, info or debug)", s)
+}
+
+// RegisterFlag adds the shared -log-level flag to fs and returns the
+// destination string; parse it with ParseLevel after fs.Parse.
+func RegisterFlag(fs *flag.FlagSet) *string {
+	return fs.String("log-level", "info", "log verbosity: quiet, info or debug")
+}
+
+// Logger writes leveled lines to one destination. The zero value and a nil
+// *Logger are both safe and silent, so library code can call a logger it
+// was never given.
+type Logger struct {
+	out   io.Writer
+	level Level
+}
+
+// New returns a Logger writing lines at or below level to out.
+func New(out io.Writer, level Level) *Logger {
+	return &Logger{out: out, level: level}
+}
+
+// Level returns the logger's verbosity (Quiet for a nil logger).
+func (l *Logger) Level() Level {
+	if l == nil {
+		return Quiet
+	}
+	return l.level
+}
+
+// Infof logs the operational narrative: one line per lifecycle event.
+func (l *Logger) Infof(format string, args ...any) { l.logf(Info, format, args...) }
+
+// Debugf logs per-item noise shown only at -log-level debug.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(Debug, format, args...) }
+
+func (l *Logger) logf(at Level, format string, args ...any) {
+	if l == nil || l.out == nil || l.level < at {
+		return
+	}
+	fmt.Fprintf(l.out, format+"\n", args...)
+}

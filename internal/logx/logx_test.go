@@ -1,0 +1,66 @@
+package logx
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"quiet": Quiet, "info": Info, "debug": Debug,
+		"DEBUG": Debug, " info ": Info, "": Info,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should error")
+	}
+}
+
+func TestLevelsFilter(t *testing.T) {
+	var b strings.Builder
+	lg := New(&b, Info)
+	lg.Infof("boot %d", 1)
+	lg.Debugf("unit %d", 7)
+	if got := b.String(); got != "boot 1\n" {
+		t.Errorf("info logger wrote %q", got)
+	}
+
+	b.Reset()
+	New(&b, Debug).Debugf("unit %d", 7)
+	if b.String() != "unit 7\n" {
+		t.Errorf("debug logger wrote %q", b.String())
+	}
+
+	b.Reset()
+	New(&b, Quiet).Infof("boot")
+	if b.String() != "" {
+		t.Errorf("quiet logger wrote %q", b.String())
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var lg *Logger
+	lg.Infof("x")
+	lg.Debugf("y")
+	if lg.Level() != Quiet {
+		t.Error("nil logger level should be Quiet")
+	}
+}
+
+func TestRegisterFlag(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	dst := RegisterFlag(fs)
+	if err := fs.Parse([]string{"-log-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if lvl, err := ParseLevel(*dst); err != nil || lvl != Debug {
+		t.Errorf("flag parsed to %v, %v", lvl, err)
+	}
+}

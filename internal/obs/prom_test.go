@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry assembles one of every instrument kind with
+// deterministic values — the fixture behind the golden-file test.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests served.", L("route", "predict")).Add(42)
+	r.Counter("test_requests_total", "Requests served.", L("route", "batch")).Add(7)
+	r.Counter("test_errors_total", "Errors encountered.").Inc()
+	r.Gauge("test_temperature", "A gauge.").Set(36.6)
+	r.GaugeFunc("test_cache_entries", "Entries cached.", func() float64 { return 128 }, L("shard", "0"))
+	r.CounterFunc("test_decisions_total", "Decisions made.", func() float64 { return 99 }, L("op", "gemm"))
+	r.Counter("test_escaping_total", "Label escaping.",
+		L("path", `C:\tmp`), L("quote", `say "hi"`), L("nl", "a\nb"))
+
+	h := r.Histogram("test_latency_seconds", "Latency distribution.", 1e-9, L("op", "gemm"))
+	for _, ns := range []int64{500, 900, 1500, 3000, 3100, 64000, 1000000} {
+		h.Observe(ns)
+	}
+	r.Histogram("test_empty_seconds", "Never observed.", 1e-9)
+	return r
+}
+
+// TestExpositionGolden pins the full text exposition against the
+// committed golden file. Regenerate with -update on a deliberate format
+// change.
+func TestExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	buildTestRegistry().WriteText(&b)
+	got := b.String()
+
+	const golden = "testdata/metrics.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (set UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestExpositionInvariants parses the exposition and checks the format
+// invariants the satellite task names: every series has HELP/TYPE,
+// histogram buckets are cumulative and monotone, +Inf is present and
+// equals _count.
+func TestExpositionInvariants(t *testing.T) {
+	var b strings.Builder
+	buildTestRegistry().WriteText(&b)
+	checkExposition(t, b.String())
+}
+
+// checkExposition validates Prometheus text format invariants.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	lastBucket := map[string]int64{} // per histogram series (labels minus le)
+	infSeen := map[string]int64{}
+	countSeen := map[string]int64{}
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			helped[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unknown comment line %q", line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		series, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("series %s: bad value %q: %v", series, valText, err)
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name, labels = series[:i], series[i:]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && typed[strings.TrimSuffix(name, suffix)] == "histogram" {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if !helped[base] || typed[base] == "" {
+			t.Errorf("series %s has no HELP/TYPE for %s", series, base)
+		}
+		if typed[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, rest := extractLE(t, labels)
+			key := base
+			if rest != "" {
+				key = base + "{" + rest + "}"
+			}
+			if int64(val) < lastBucket[key] {
+				t.Errorf("histogram %s: cumulative bucket count %v below previous %d", key, val, lastBucket[key])
+			}
+			lastBucket[key] = int64(val)
+			if le == "+Inf" {
+				infSeen[key] = int64(val)
+			}
+		}
+		if typed[base] == "histogram" && strings.HasSuffix(name, "_count") {
+			countSeen[base+labels] = int64(val)
+		}
+		if (typed[base] == "counter" || typed[base] == "histogram") && val < 0 {
+			t.Errorf("monotone series %s has negative value %v", series, val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(infSeen) == 0 {
+		t.Fatal("no histogram +Inf buckets found")
+	}
+	for key, count := range countSeen {
+		inf, ok := infSeen[key]
+		if !ok {
+			t.Errorf("histogram %s has _count but no +Inf bucket", key)
+			continue
+		}
+		if inf != count {
+			t.Errorf("histogram %s: +Inf bucket %d != _count %d", key, inf, count)
+		}
+	}
+}
+
+// extractLE pulls the le label out of a rendered label suffix, returning
+// it and the suffix without it.
+func extractLE(t *testing.T, labels string) (le, rest string) {
+	t.Helper()
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		t.Fatalf("bucket labels %q lack le", labels)
+	}
+	j := strings.Index(labels[i+4:], `"`)
+	le = labels[i+4 : i+4+j]
+	rest = labels[:i] + labels[i+4+j+1:]
+	rest = strings.Trim(strings.Trim(rest, "{}"), ",")
+	return le, rest
+}
+
+// TestLabelEscaping checks the three escape sequences of the format.
+func TestLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	r := NewRegistry()
+	r.Counter("esc_total", "x", L("v", "back\\slash \"quoted\"\nnewline")).Inc()
+	r.WriteText(&b)
+	want := `esc_total{v="back\\slash \"quoted\"\nnewline"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition:\n%s\nwant line:\n%s", b.String(), want)
+	}
+}
+
+// TestRegistryIdempotent checks that re-registering returns the same
+// instrument and type conflicts panic.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("idem_total", "x", L("k", "v"))
+	b := r.Counter("idem_total", "x", L("k", "v"))
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	h1 := r.Histogram("idem_seconds", "x", 1e-9)
+	h2 := r.Histogram("idem_seconds", "x", 1e-9)
+	if h1 != h2 {
+		t.Error("re-registration returned a different histogram")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type conflict did not panic")
+			}
+		}()
+		r.Gauge("idem_total", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid metric name did not panic")
+			}
+		}()
+		r.Counter("0bad-name", "x")
+	}()
+}
+
+// TestHandler serves the exposition over HTTP with the text content type.
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(buildTestRegistry().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, string(body))
+}

@@ -273,6 +273,10 @@ func (c *Cache) Len() int {
 // Capacity returns the total entry capacity across shards.
 func (c *Cache) Capacity() int { return c.capacity }
 
+// ShardLen returns the number of cached decisions in shard i — the
+// per-shard occupancy gauge behind /metrics.
+func (c *Cache) ShardLen(i int) int { return c.shards[i].len() }
+
 // Shards returns the shard count.
 func (c *Cache) Shards() int { return len(c.shards) }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/sampling"
 )
@@ -47,6 +48,14 @@ type Engine struct {
 	evalNanos   atomic.Int64 // cumulative time spent in cache-miss ranking
 	evals       atomic.Int64 // cache-miss rankings performed
 
+	// decLatency holds one latency histogram per op for the cache-miss
+	// ranking path (nanosecond observations, exposed as seconds), and
+	// batchSizes the /batch request-size distribution. Both live on the
+	// engine from construction — recording is a few atomic adds — and are
+	// attached to a Prometheus registry by RegisterMetrics.
+	decLatency []*obs.Histogram
+	batchSizes *obs.Histogram
+
 	// perOp splits the serving counters by operation (indexed by ops.Op);
 	// the aggregate counters above stay authoritative for compatibility.
 	perOp []opCounters
@@ -75,11 +84,16 @@ func NewEngine(lib *core.Library, opts Options) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		lib:       lib,
-		cache:     NewCache(opts.CacheSize, opts.Shards),
-		workers:   workers,
-		perOp:     make([]opCounters, ops.NumOps()),
-		warmPerOp: make([]opCounters, ops.NumOps()),
+		lib:        lib,
+		cache:      NewCache(opts.CacheSize, opts.Shards),
+		workers:    workers,
+		perOp:      make([]opCounters, ops.NumOps()),
+		warmPerOp:  make([]opCounters, ops.NumOps()),
+		decLatency: make([]*obs.Histogram, ops.NumOps()),
+		batchSizes: obs.NewHistogram(1),
+	}
+	for i := range e.decLatency {
+		e.decLatency[i] = obs.NewHistogram(1e-9)
 	}
 	e.scratch.New = func() any { return lib.NewScratch() }
 	return e
@@ -134,10 +148,21 @@ func (e *Engine) rank(op Op, m, k, n int, scores []float64) int {
 	s := e.scratch.Get().(*core.Scratch)
 	start := time.Now()
 	best := e.lib.Candidates[e.lib.RankOpInto(op, m, k, n, s, scores)]
-	e.evalNanos.Add(time.Since(start).Nanoseconds())
+	ns := time.Since(start).Nanoseconds()
+	e.evalNanos.Add(ns)
 	e.evals.Add(1)
+	e.latencyHist(op).Observe(ns)
 	e.scratch.Put(s)
 	return best
+}
+
+// latencyHist returns the op's decision-latency histogram (GEMM for
+// out-of-range ops, mirroring opCounters).
+func (e *Engine) latencyHist(op Op) *obs.Histogram {
+	if int(op) >= len(e.decLatency) {
+		op = OpGEMM
+	}
+	return e.decLatency[op]
 }
 
 // Candidates returns the candidate thread counts the engine ranks.
@@ -192,6 +217,7 @@ func (e *Engine) PredictBatchOp(op Op, shapes []sampling.Shape, out []int) []int
 	if len(shapes) == 0 {
 		return out
 	}
+	e.batchSizes.Observe(int64(len(shapes)))
 	if len(shapes) == 1 {
 		out[0] = e.PredictOp(op, shapes[0].M, shapes[0].K, shapes[0].N)
 		return out
@@ -346,36 +372,72 @@ type OpStats struct {
 	HitRate     float64 `json:"hit_rate"`
 }
 
-// Stats returns the current counters. Serving counters are clamped at zero:
-// Cache().Reset() zeroes the cache's hit/miss counters but not the recorded
-// warm-up deltas, and a negative count must never reach the /stats JSON.
+// Stats returns the current counters. Every atomic is loaded exactly once
+// into a local snapshot before any derived field is computed, so one
+// response is internally consistent: the reported HitRate is exactly
+// CacheHits/(CacheHits+CacheMisses) of the same response, and the Warmup*
+// fields are the same values that were subtracted from the serving
+// counters — a concurrent Warmup or Reset between loads can no longer
+// produce a response whose parts disagree. Load order matters for the
+// cross-counter inequalities too: warm-up deltas are read before the
+// counters they are subtracted from (a delta is recorded only after its
+// underlying counter moved, so warm ≤ counter holds), and the prediction
+// counters are read after the hit/miss counters (a hit/miss is only
+// recorded after its prediction), keeping Predictions ≥ CacheHits +
+// CacheMisses within one response under concurrent traffic. Serving
+// counters are still clamped at zero: Cache().Reset() zeroes the cache's
+// hit/miss counters but not the recorded warm-up deltas, and a negative
+// count must never reach the /stats JSON.
 func (e *Engine) Stats() Stats {
-	hits, misses := e.cache.Stats()
-	hits = max0(hits - e.warmHits.Load())
-	misses = max0(misses - e.warmMisses.Load())
+	// Raw snapshot — each atomic loaded exactly once, deltas first.
+	warmPred := e.warmPredictions.Load()
+	warmHits := e.warmHits.Load()
+	warmMisses := e.warmMisses.Load()
+	type opSnap struct{ warmPred, warmHits, warmMisses, pred, hits, misses int64 }
+	perOp := make([]opSnap, len(e.perOp))
+	for i := range e.perOp {
+		woc := &e.warmPerOp[i]
+		perOp[i].warmPred = woc.predictions.Load()
+		perOp[i].warmHits = woc.hits.Load()
+		perOp[i].warmMisses = woc.misses.Load()
+	}
+	rawHits, rawMisses := e.cache.Stats()
+	for i := range e.perOp {
+		oc := &e.perOp[i]
+		perOp[i].hits = oc.hits.Load()
+		perOp[i].misses = oc.misses.Load()
+	}
+	pred := e.predictions.Load()
+	for i := range e.perOp {
+		perOp[i].pred = e.perOp[i].predictions.Load()
+	}
+	evals := e.evals.Load()
+	evalNanos := e.evalNanos.Load()
+
+	hits := max0(rawHits - warmHits)
+	misses := max0(rawMisses - warmMisses)
 	st := Stats{
-		Predictions:     max0(e.predictions.Load() - e.warmPredictions.Load()),
+		Predictions:     max0(pred - warmPred),
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		CacheLen:        e.cache.Len(),
 		CacheCap:        e.cache.Capacity(),
 		Shards:          e.cache.Shards(),
-		WarmupDecisions: e.warmPredictions.Load(),
-		WarmupHits:      e.warmHits.Load(),
-		WarmupMisses:    e.warmMisses.Load(),
+		WarmupDecisions: warmPred,
+		WarmupHits:      warmHits,
+		WarmupMisses:    warmMisses,
 	}
 	if total := hits + misses; total > 0 {
 		st.HitRate = float64(hits) / float64(total)
 	}
-	if evals := e.evals.Load(); evals > 0 {
-		st.MeanEvalMicros = float64(e.evalNanos.Load()) / float64(evals) / 1e3
+	if evals > 0 {
+		st.MeanEvalMicros = float64(evalNanos) / float64(evals) / 1e3
 	}
-	for i := range e.perOp {
-		oc, woc := &e.perOp[i], &e.warmPerOp[i]
+	for i, snap := range perOp {
 		os := OpStats{
-			Predictions: max0(oc.predictions.Load() - woc.predictions.Load()),
-			CacheHits:   max0(oc.hits.Load() - woc.hits.Load()),
-			CacheMisses: max0(oc.misses.Load() - woc.misses.Load()),
+			Predictions: max0(snap.pred - snap.warmPred),
+			CacheHits:   max0(snap.hits - snap.warmHits),
+			CacheMisses: max0(snap.misses - snap.warmMisses),
 		}
 		if os.Predictions == 0 && os.CacheHits == 0 && os.CacheMisses == 0 {
 			continue
@@ -384,7 +446,7 @@ func (e *Engine) Stats() Stats {
 			os.HitRate = float64(os.CacheHits) / float64(total)
 		}
 		if st.PerOp == nil {
-			st.PerOp = make(map[string]OpStats, len(e.perOp))
+			st.PerOp = make(map[string]OpStats, len(perOp))
 		}
 		st.PerOp[Op(i).String()] = os
 	}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// RegisterMetrics attaches the engine's counters to a Prometheus registry.
+// Everything hot-path is already recorded on the engine itself (plain atomic
+// adds, no allocation); registration only wires scrape-time views over those
+// atomics, so it is safe to call after traffic has started and idempotent on
+// the same registry.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	for i := range e.perOp {
+		op := Op(i)
+		oc := &e.perOp[i]
+		lbl := obs.L("op", op.String())
+		r.CounterFunc("adsala_serve_decisions_total",
+			"Thread-count decisions served (cached or ranked), including warm-up.",
+			counterView(&oc.predictions), lbl)
+		r.CounterFunc("adsala_serve_cache_hits_total",
+			"Decisions answered from the decision cache, including warm-up.",
+			counterView(&oc.hits), lbl)
+		r.CounterFunc("adsala_serve_cache_misses_total",
+			"Decisions that required a full candidate ranking, including warm-up.",
+			counterView(&oc.misses), lbl)
+		r.RegisterHistogram("adsala_serve_decision_latency_seconds",
+			"Latency of one cache-miss candidate ranking.",
+			e.decLatency[i], lbl)
+	}
+	r.RegisterHistogram("adsala_serve_batch_size",
+		"Shapes per PredictBatch call.", e.batchSizes)
+
+	r.CounterFunc("adsala_serve_warmup_decisions_total",
+		"Decisions attributed to cache warm-up passes.",
+		counterView(&e.warmPredictions))
+	r.CounterFunc("adsala_serve_warmup_hits_total",
+		"Cache hits attributed to warm-up passes.",
+		counterView(&e.warmHits))
+	r.CounterFunc("adsala_serve_warmup_misses_total",
+		"Cache misses attributed to warm-up passes.",
+		counterView(&e.warmMisses))
+
+	c := e.cache
+	for i := 0; i < c.Shards(); i++ {
+		shard := i
+		r.GaugeFunc("adsala_serve_cache_entries",
+			"Decision-cache occupancy per shard.",
+			func() float64 { return float64(c.ShardLen(shard)) },
+			obs.L("shard", fmt.Sprintf("%d", shard)))
+	}
+	r.GaugeFunc("adsala_serve_cache_capacity_entries",
+		"Total decision-cache capacity.",
+		func() float64 { return float64(c.Capacity()) })
+	r.GaugeFunc("adsala_serve_cache_shards",
+		"Decision-cache shard count.",
+		func() float64 { return float64(c.Shards()) })
+}
+
+// counterView adapts an engine atomic into a scrape-time counter reader.
+func counterView(v interface{ Load() int64 }) func() float64 {
+	return func() float64 { return float64(v.Load()) }
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sampling"
+)
+
+// TestStatsConsistentUnderLoad is the torn-read regression test: it
+// hammers the engine from several goroutines while polling Stats, and
+// asserts that every snapshot is internally consistent — the derived
+// HitRate equals exactly CacheHits/(CacheHits+CacheMisses) of the same
+// snapshot, and the counting inequalities the load order guarantees hold.
+// Before Stats snapshotted each atomic exactly once, HitRate was computed
+// from a second, later load of the hit/miss counters and this test failed
+// under -race-style interleavings.
+func TestStatsConsistentUnderLoad(t *testing.T) {
+	e := NewEngine(lib(t), Options{CacheSize: 64, Shards: 4})
+	shapes := mixedShapes(48)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				sh := shapes[(i*7+seed)%len(shapes)]
+				op := Op((i + seed) % 3)
+				e.PredictOp(op, sh.M, sh.K, sh.N)
+			}
+		}(w)
+	}
+
+	for poll := 0; poll < 300; poll++ {
+		st := e.Stats()
+		checkStatsConsistent(t, st)
+	}
+	stop.Store(true)
+	wg.Wait()
+	checkStatsConsistent(t, e.Stats())
+}
+
+// checkStatsConsistent asserts the single-snapshot invariants of one
+// Stats value.
+func checkStatsConsistent(t *testing.T, st Stats) {
+	t.Helper()
+	for _, v := range []int64{st.Predictions, st.CacheHits, st.CacheMisses} {
+		if v < 0 {
+			t.Fatalf("negative counter in %+v", st)
+		}
+	}
+	if st.Predictions < st.CacheHits+st.CacheMisses {
+		t.Fatalf("predictions %d < hits %d + misses %d",
+			st.Predictions, st.CacheHits, st.CacheMisses)
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		if want := float64(st.CacheHits) / float64(total); st.HitRate != want {
+			t.Fatalf("torn hit rate: got %v, counters give exactly %v (%+v)",
+				st.HitRate, want, st)
+		}
+	} else if st.HitRate != 0 {
+		t.Fatalf("hit rate %v with no traffic", st.HitRate)
+	}
+	for name, os := range st.PerOp {
+		if os.Predictions < os.CacheHits+os.CacheMisses {
+			t.Fatalf("op %s: predictions %d < hits %d + misses %d",
+				name, os.Predictions, os.CacheHits, os.CacheMisses)
+		}
+		if total := os.CacheHits + os.CacheMisses; total > 0 {
+			if want := float64(os.CacheHits) / float64(total); os.HitRate != want {
+				t.Fatalf("op %s: torn hit rate %v != %v", name, os.HitRate, want)
+			}
+		}
+	}
+}
+
+// TestStatsWarmupConsistent checks the warm-up exclusion stays consistent
+// within one snapshot after warm passes.
+func TestStatsWarmupConsistent(t *testing.T) {
+	e := NewEngine(lib(t), Options{CacheSize: 256, Shards: 4})
+	dom := sampling.DefaultDomain().WithCapMB(100)
+	if _, err := e.Warmup(dom, 16, 3, OpGEMM); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	checkStatsConsistent(t, st)
+	if st.WarmupDecisions != 16 {
+		t.Errorf("warmup decisions %d, want 16", st.WarmupDecisions)
+	}
+	if st.Predictions != 0 {
+		t.Errorf("serving predictions %d after warm-up only, want 0", st.Predictions)
+	}
+}
+
+// TestServerReadiness walks the probe lifecycle: ready at construction,
+// "starting" when flipped off before first SetReady(true), "ok" when
+// ready, "draining" after, with /livez 200 throughout.
+func TestServerReadiness(t *testing.T) {
+	srv, ts := testServer(t)
+
+	get := func(path string) (int, HealthResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get("/healthz"); code != http.StatusOK || h.Status != "ok" || !h.Ready {
+		t.Fatalf("fresh server healthz = %d %+v", code, h)
+	}
+	if _, h := get("/healthz"); h.FormatVersion < 1 || len(h.Ops) == 0 {
+		t.Errorf("health body lacks artefact info: %+v", h)
+	}
+
+	srv.SetReady(false) // never explicitly ready yet → starting
+	if code, h := get("/healthz"); code != http.StatusServiceUnavailable || h.Status != "starting" {
+		t.Fatalf("pre-ready healthz = %d %+v", code, h)
+	}
+	if code, h := get("/livez"); code != http.StatusOK || h.Ready {
+		t.Fatalf("livez while starting = %d %+v", code, h)
+	}
+
+	srv.SetReady(true)
+	if code, h := get("/healthz"); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("ready healthz = %d %+v", code, h)
+	}
+
+	srv.SetReady(false) // was ready → draining
+	if code, h := get("/healthz"); code != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining healthz = %d %+v", code, h)
+	}
+	if code, _ := get("/livez"); code != http.StatusOK {
+		t.Fatalf("livez while draining = %d", code)
+	}
+	if srv.Ready() {
+		t.Error("Ready() true after SetReady(false)")
+	}
+}
+
+// TestServerMetricsEndpoint scrapes /metrics after traffic and checks the
+// engine and HTTP families appear with per-op labels and histogram series.
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	client := NewClient(ts.URL, nil)
+	if _, err := client.Predict(96, 96, 96); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.PredictBatch(mixedShapes(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(blob)
+	for _, want := range []string{
+		`adsala_serve_decisions_total{op="gemm"}`,
+		`adsala_serve_cache_misses_total{op="gemm"}`,
+		`adsala_serve_decision_latency_seconds_bucket{op="gemm",le="+Inf"}`,
+		`adsala_serve_decision_latency_seconds_count{op="gemm"}`,
+		`adsala_serve_batch_size_count`,
+		`adsala_serve_cache_entries{shard="0"}`,
+		`adsala_serve_cache_capacity_entries`,
+		"adsala_serve_ready 1",
+		`adsala_http_requests_total{result="ok",route="predict"}`,
+		`adsala_http_request_seconds_count{route="batch"}`,
+		"adsala_serve_artefact_format_version",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition lacks %q", want)
+		}
+	}
+	if strings.Contains(text, "-1") {
+		t.Errorf("negative value in exposition:\n%s", text)
+	}
+}
+
+// TestServerPprofGate checks profiling endpoints stay off until
+// explicitly enabled.
+func TestServerPprofGate(t *testing.T) {
+	srv, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without EnablePprof")
+	}
+	srv.EnablePprof()
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d after EnablePprof", resp.StatusCode)
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/sampling"
 )
@@ -46,19 +48,34 @@ type BatchResponse struct {
 	Threads []int `json:"threads"`
 }
 
-// HealthResponse is the JSON answer of /healthz.
+// HealthResponse is the JSON answer of /healthz (and /livez). Status is
+// "ok" when the daemon is ready to serve, "starting" before warm-up and
+// snapshot restore complete, and "draining" once shutdown has begun; the
+// latter two answer with 503 so load balancers stop routing, while /livez
+// stays 200 for as long as the process can answer at all.
 type HealthResponse struct {
 	Status   string `json:"status"`
+	Ready    bool   `json:"ready"`
 	Platform string `json:"platform"`
 	Model    string `json:"model"`
+	// FormatVersion is the on-disk format version of the loaded artefact
+	// and Ops the operations it holds trained models for — enough for an
+	// operator to tell a legacy v1 single-model artefact from a v2 bundle
+	// without opening the file.
+	FormatVersion int      `json:"format_version"`
+	Ops           []string `json:"ops"`
 }
 
-// endpointMetrics tracks request count and latency for one endpoint.
+// endpointMetrics tracks request count and latency for one endpoint. The
+// JSON /stats snapshot and the Prometheus exposition are both views over
+// the same atomics (plus one shared latency histogram), so the two
+// surfaces can never disagree about what the server did.
 type endpointMetrics struct {
 	count   atomic.Int64
 	errors  atomic.Int64
 	totalNS atomic.Int64
 	maxNS   atomic.Int64
+	latency *obs.Histogram
 }
 
 func (m *endpointMetrics) observe(d time.Duration, failed bool) {
@@ -68,6 +85,9 @@ func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	}
 	ns := d.Nanoseconds()
 	m.totalNS.Add(ns)
+	if m.latency != nil {
+		m.latency.Observe(ns)
+	}
 	for {
 		cur := m.maxNS.Load()
 		if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
@@ -93,6 +113,26 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 	return st
 }
 
+// register exposes the endpoint's counters and latency histogram under the
+// given route label.
+func (m *endpointMetrics) register(r *obs.Registry, route string) {
+	lbl := obs.L("route", route)
+	r.CounterFunc("adsala_http_requests_total",
+		"HTTP requests handled, by route and result.",
+		func() float64 {
+			// Errors loaded first so ok = count - errors never dips negative
+			// under concurrent traffic.
+			e := m.errors.Load()
+			return float64(m.count.Load() - e)
+		}, lbl, obs.L("result", "ok"))
+	r.CounterFunc("adsala_http_requests_total",
+		"HTTP requests handled, by route and result.",
+		func() float64 { return float64(m.errors.Load()) },
+		lbl, obs.L("result", "error"))
+	r.RegisterHistogram("adsala_http_request_seconds",
+		"HTTP request latency, by route.", m.latency, lbl)
+}
+
 // StatsResponse is the JSON answer of /stats.
 type StatsResponse struct {
 	Platform string `json:"platform"`
@@ -113,23 +153,87 @@ const MaxBatchShapes = 16384
 type Server struct {
 	engine  *Engine
 	mux     *http.ServeMux
+	reg     *obs.Registry
 	predict endpointMetrics
 	batch   endpointMetrics
+
+	// ready gates /healthz: NewServer starts ready (an engine implies a
+	// loaded artefact), the daemon flips it false while restoring
+	// snapshots / warming and again when shutdown begins. everReady is set
+	// only by an explicit SetReady(true), so it distinguishes the two
+	// unready phases for the health body: not-yet-ready is "starting",
+	// previously-ready is "draining".
+	ready     atomic.Bool
+	everReady atomic.Bool
 }
 
 // NewServer returns an HTTP handler exposing the engine at /predict,
-// /batch, /stats and /healthz.
+// /batch, /stats, /healthz, /livez and /metrics. The server starts ready;
+// use SetReady to gate traffic around warm-up and drain.
 func NewServer(engine *Engine) *Server {
-	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s := &Server{engine: engine, mux: http.NewServeMux(), reg: obs.NewRegistry()}
+	s.predict.latency = obs.NewHistogram(1e-9)
+	s.batch.latency = obs.NewHistogram(1e-9)
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/livez", s.handleLivez)
+	s.mux.Handle("/metrics", s.reg.Handler())
+
+	engine.RegisterMetrics(s.reg)
+	s.predict.register(s.reg, "predict")
+	s.batch.register(s.reg, "batch")
+	s.reg.GaugeFunc("adsala_serve_ready",
+		"1 when the daemon is accepting traffic, 0 while starting or draining.",
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("adsala_serve_artefact_format_version",
+		"On-disk format version of the loaded artefact.",
+		func() float64 { return float64(engine.Library().Format()) })
+
+	// Ready by construction (the engine implies a loaded artefact), but
+	// deliberately not via SetReady: a daemon that immediately flips
+	// readiness off for its restore/warm-up phase should report "starting",
+	// not "draining".
+	s.ready.Store(true)
 	return s
 }
 
 // Engine returns the prediction engine behind the server.
 func (s *Server) Engine() *Engine { return s.engine }
+
+// Registry returns the server's metrics registry (served at /metrics), so
+// daemons can attach process-level instruments alongside the engine's.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SetReady flips the /healthz readiness gate. Daemons call SetReady(false)
+// before long restore/warm-up phases and at the start of graceful
+// shutdown — before the listener closes — so probes see the drain.
+func (s *Server) SetReady(ready bool) {
+	s.ready.Store(ready)
+	if ready {
+		s.everReady.Store(true)
+	}
+}
+
+// Ready reports whether the server currently answers /healthz with 200.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// profiling endpoints expose internals and cost CPU, so daemons gate this
+// behind a flag.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -284,11 +388,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// healthBody assembles the shared health payload.
+func (s *Server) healthBody(ready bool) HealthResponse {
 	lib := s.engine.Library()
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
-		Platform: lib.Platform,
-		Model:    lib.ModelKind(),
-	})
+	status := "ok"
+	if !ready {
+		status = "starting"
+		if s.everReady.Load() {
+			status = "draining"
+		}
+	}
+	trained := lib.TrainedOps()
+	names := make([]string, len(trained))
+	for i, op := range trained {
+		names[i] = op.String()
+	}
+	return HealthResponse{
+		Status:        status,
+		Ready:         ready,
+		Platform:      lib.Platform,
+		Model:         lib.ModelKind(),
+		FormatVersion: lib.Format(),
+		Ops:           names,
+	}
+}
+
+// handleHealthz is the readiness probe: 200 only when the daemon should
+// receive traffic, 503 while starting or draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready := s.ready.Load()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, s.healthBody(ready))
+}
+
+// handleLivez is the liveness probe: 200 whenever the process can answer,
+// ready or not.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthBody(s.ready.Load()))
 }
