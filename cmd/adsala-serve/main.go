@@ -22,12 +22,26 @@
 //
 //	adsala-serve -lib gadi.adsala.json -addr :8080 -warmup 256
 //	adsala-serve -lib gadi.adsala.json -cache-snapshot decisions.json
+//	adsala-serve -lib gadi.adsala.json -reload-on SIGHUP -admin-token s3cret
 //
 // -warmup pre-populates the decision cache for every op the library holds
 // a trained model for. -cache-snapshot persists the decision cache across
 // restarts: the file is loaded at start when present and written on
 // graceful shutdown (SIGINT/SIGTERM), so a restarted daemon answers its
 // warmed working set immediately.
+//
+// Hot reload: -reload-on SIGHUP re-reads -lib and swaps the artefact
+// atomically on SIGHUP without dropping readiness; -admin-token
+// additionally mounts an authenticated POST /admin/reload doing the same
+// over HTTP. After a swap the decision cache resets and (when -warmup is
+// set) re-warms in the background while live traffic is answered against
+// the new models.
+//
+// Overload protection: -max-inflight bounds concurrently served prediction
+// requests (excess waits briefly, then sheds with 429 + Retry-After);
+// -request-timeout bounds each request's ranking work. Requests that
+// cannot rank in time are answered by a deterministic heuristic and tagged
+// "fallback": true.
 package main
 
 import (
@@ -41,10 +55,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	adsala "repro"
+	"repro/internal/core"
 	"repro/internal/logx"
 	"repro/internal/sampling"
 	"repro/internal/serve"
@@ -63,6 +79,11 @@ type config struct {
 	snapshot    string
 	pprof       bool
 	level       logx.Level
+
+	adminToken  string
+	reloadOn    string
+	maxInflight int
+	reqTimeout  time.Duration
 }
 
 // parseFlags parses args (without the program name) into a config. Usage
@@ -81,6 +102,10 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.Int64Var(&cfg.warmupSeed, "warmup-seed", 1, "warm-up sampling seed")
 	fs.StringVar(&cfg.snapshot, "cache-snapshot", "", "decision-cache snapshot file: loaded at start when present, saved on graceful shutdown")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	fs.StringVar(&cfg.adminToken, "admin-token", "", "token authorising POST /admin/reload (empty disables the endpoint)")
+	fs.StringVar(&cfg.reloadOn, "reload-on", "", "signal triggering a hot artefact reload (only SIGHUP is supported; empty disables)")
+	fs.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrently served prediction requests (0 = 8×GOMAXPROCS, negative disables shedding)")
+	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 0, "per-request ranking deadline (0 = 2s, negative disables)")
 	level := logx.RegisterFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -95,6 +120,13 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	}
 	if cfg.warmupCapMB < 1 {
 		return cfg, fmt.Errorf("-warmup-cap must be >= 1, got %d", cfg.warmupCapMB)
+	}
+	switch strings.ToUpper(cfg.reloadOn) {
+	case "":
+	case "SIGHUP", "HUP":
+		cfg.reloadOn = "SIGHUP"
+	default:
+		return cfg, fmt.Errorf("-reload-on %q is not supported (want SIGHUP)", cfg.reloadOn)
 	}
 	return cfg, nil
 }
@@ -115,12 +147,45 @@ func buildServer(cfg config, out io.Writer) (*serve.Server, error) {
 	})
 	lg.Infof("loaded %s: platform=%s model=%s, cache %d entries / %d shards",
 		cfg.libPath, lib.Platform(), lib.ModelKind(), eng.Cache().Capacity(), eng.Cache().Shards())
-	srv := serve.NewServer(eng)
+	opts := []serve.ServerOption{
+		serve.WithLimits(serve.Limits{
+			MaxInFlight:    cfg.maxInflight,
+			RequestTimeout: cfg.reqTimeout,
+		}),
+	}
+	if cfg.adminToken != "" || cfg.reloadOn != "" {
+		opts = append(opts, serve.WithReload(serve.ReloadConfig{
+			Load:  func() (*core.Library, error) { return core.Load(cfg.libPath) },
+			Token: cfg.adminToken,
+			Warm:  warmFunc(cfg, lg),
+			Logf:  lg.Infof,
+		}))
+	}
+	srv := serve.NewServer(eng, opts...)
 	if cfg.pprof {
 		srv.EnablePprof()
 		lg.Infof("pprof enabled at /debug/pprof/")
 	}
 	return srv, nil
+}
+
+// warmFunc returns the post-reload background re-warm, or nil when -warmup
+// is off. It runs off the request path: the freshly swapped artefact serves
+// (ranking cache misses live) while the warm pass refills the cache.
+func warmFunc(cfg config, lg *logx.Logger) func(*serve.Engine) {
+	if cfg.warmup <= 0 {
+		return nil
+	}
+	return func(eng *serve.Engine) {
+		start := time.Now()
+		dom := sampling.DefaultDomain().WithCapMB(cfg.warmupCapMB)
+		n, err := eng.Warmup(dom, cfg.warmup, cfg.warmupSeed)
+		if err != nil {
+			lg.Infof("post-reload warm-up failed: %v", err)
+			return
+		}
+		lg.Infof("re-warmed %d decisions in %v", n, time.Since(start).Round(time.Millisecond))
+	}
 }
 
 // prepare runs the potentially slow boot phases — snapshot restore and
@@ -135,11 +200,20 @@ func prepare(cfg config, srv *serve.Server, out io.Writer) error {
 		switch {
 		case errors.Is(err, fs.ErrNotExist):
 			// First boot: the snapshot appears on the first graceful
-			// shutdown. Any other load error is fatal — silently starting
-			// cold (and overwriting the file on exit) would lose the
-			// operator's warmed working set.
+			// shutdown.
 		case err != nil:
-			return err
+			// A truncated, garbled or version-skewed snapshot must not keep
+			// the daemon down — a cold cache is merely slow. Move the file
+			// aside (not delete: the bytes stay for diagnosis, and the
+			// shutdown save cannot overwrite them) and log loudly.
+			aside := cfg.snapshot + ".corrupt"
+			if mvErr := os.Rename(cfg.snapshot, aside); mvErr != nil {
+				lg.Infof("WARNING: cache snapshot %s unreadable (%v); starting cold (move aside also failed: %v)",
+					cfg.snapshot, err, mvErr)
+			} else {
+				lg.Infof("WARNING: cache snapshot %s unreadable (%v); moved to %s, starting cold",
+					cfg.snapshot, err, aside)
+			}
 		default:
 			lg.Infof("restored %d cached decisions from %s", n, cfg.snapshot)
 		}
@@ -190,6 +264,23 @@ func run(args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if cfg.reloadOn == "SIGHUP" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				body, err := handler.Reload()
+				if err != nil {
+					// Reload keeps the old artefact serving on failure; the
+					// daemon stays healthy.
+					lg.Infof("WARNING: SIGHUP reload failed: %v", err)
+					continue
+				}
+				lg.Infof("SIGHUP reload complete: generation %d, %d ops", body.Generation, len(body.Ops))
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() {
 		lg.Infof("serving on %s", cfg.addr)

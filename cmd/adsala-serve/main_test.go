@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -13,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	adsala "repro"
 	"repro/internal/serve"
@@ -141,6 +143,106 @@ func TestCacheSnapshotAcrossRestart(t *testing.T) {
 	}
 	if st := srv2.Engine().Stats(); st.CacheHits != 1 || st.CacheMisses != 0 {
 		t.Errorf("restored cache did not serve warm: %+v", st)
+	}
+}
+
+// TestCorruptSnapshotStartsCold pins the robustness satellite: a damaged
+// snapshot file must not kill the daemon at boot. It logs a warning, moves
+// the corrupt file aside (so the shutdown save cannot be blamed for
+// destroying evidence) and serves cold.
+func TestCorruptSnapshotStartsCold(t *testing.T) {
+	path := savedLibrary(t)
+	snap := filepath.Join(t.TempDir(), "decisions.json")
+	if err := os.WriteFile(snap, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := parseFlags([]string{"-lib", path, "-cache-snapshot", snap}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	srv, err := newServer(cfg, &out)
+	if err != nil {
+		t.Fatalf("corrupt snapshot killed the boot: %v", err)
+	}
+	if !strings.Contains(out.String(), "WARNING") || !strings.Contains(out.String(), "starting cold") {
+		t.Errorf("corruption not reported: %q", out.String())
+	}
+	if _, err := os.Stat(snap); !os.IsNotExist(err) {
+		t.Errorf("corrupt snapshot still in place (stat err %v)", err)
+	}
+	if blob, err := os.ReadFile(snap + ".corrupt"); err != nil || string(blob) != "{torn" {
+		t.Errorf("corrupt bytes not preserved aside: (%q, %v)", blob, err)
+	}
+	if st := srv.Engine().Stats(); st.CacheLen != 0 {
+		t.Errorf("cache holds %d entries after rejected snapshot", st.CacheLen)
+	}
+	// The daemon still serves.
+	if got := srv.Engine().Predict(64, 64, 64); got < 1 {
+		t.Errorf("cold daemon predicted %d", got)
+	}
+}
+
+// TestReloadFlags pins the new resilience flag surface.
+func TestReloadFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-lib", "x.json", "-admin-token", "s3cret", "-reload-on", "SIGHUP",
+		"-max-inflight", "32", "-request-timeout", "500ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.adminToken != "s3cret" || cfg.reloadOn != "SIGHUP" || cfg.maxInflight != 32 ||
+		cfg.reqTimeout != 500*time.Millisecond {
+		t.Errorf("parsed %+v", cfg)
+	}
+	// HUP normalises; unknown signals error.
+	if cfg, err = parseFlags([]string{"-reload-on", "HUP"}, io.Discard); err != nil || cfg.reloadOn != "SIGHUP" {
+		t.Errorf("HUP alias: (%+v, %v)", cfg, err)
+	}
+	if _, err := parseFlags([]string{"-reload-on", "SIGUSR1"}, io.Discard); err == nil {
+		t.Error("unsupported reload signal should error")
+	}
+}
+
+// TestDaemonAdminReload boots the daemon with an admin token, swaps the
+// artefact through POST /admin/reload, and checks the generation advances
+// while the server keeps answering.
+func TestDaemonAdminReload(t *testing.T) {
+	path := savedLibrary(t)
+	var out bytes.Buffer
+	cfg, err := parseFlags([]string{"-lib", path, "-admin-token", "sesame"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := serve.NewClient(ts.URL, nil)
+
+	if _, err := client.Predict(96, 96, 96); err != nil {
+		t.Fatal(err)
+	}
+	h, err := client.Reload(context.Background(), "sesame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Generation != 1 {
+		t.Errorf("generation after reload = %d, want 1", h.Generation)
+	}
+	// Wrong token is rejected.
+	if _, err := client.Reload(context.Background(), "wrong"); err == nil {
+		t.Error("wrong admin token accepted")
+	}
+	// Still serving after the swap.
+	if _, err := client.Predict(96, 96, 96); err != nil {
+		t.Errorf("predict after reload: %v", err)
+	}
+	if h, err = client.Healthz(); err != nil || h.Generation != 1 || h.Status != "ok" {
+		t.Errorf("healthz after reload = (%+v, %v)", h, err)
 	}
 }
 

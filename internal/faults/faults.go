@@ -1,0 +1,345 @@
+// Package faults is the reusable fault-injection harness behind the chaos
+// tests: composable http.RoundTripper and http.Handler middleware that
+// inject latency, transport errors, connection drops, HTTP error statuses
+// and partial (truncated) responses from a seeded, fully deterministic
+// schedule.
+//
+// Determinism is the design constraint. Concurrent clients interleave
+// non-deterministically, so a schedule driven by a shared RNG stream would
+// make every chaos run unique. Instead each call is numbered by an atomic
+// counter and its fault is derived by hashing (seed, call index): the i-th
+// call through an injector always experiences the same fault no matter how
+// goroutines interleave, and a failing chaos test replays exactly from its
+// seed.
+package faults
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Kind names one injected behaviour.
+type Kind int
+
+const (
+	// None injects nothing: the call passes through untouched.
+	None Kind = iota
+	// Latency delays the call, then passes it through.
+	Latency
+	// Error fails the call at the transport layer (RoundTripper) or
+	// answers with InjectStatus (Handler) — the dependency answered, badly.
+	Error
+	// Drop severs the connection: the RoundTripper returns a mid-flight
+	// transport error, the Handler aborts the connection without a
+	// response — the dependency vanished.
+	Drop
+	// Truncate serves a partial response body that ends early — the
+	// dependency died mid-answer.
+	Truncate
+)
+
+// String names the kind for logs and test failures.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Latency:
+		return "latency"
+	case Error:
+		return "error"
+	case Drop:
+		return "drop"
+	case Truncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Plan sets the per-call probabilities of each fault kind. Probabilities
+// are evaluated in order (latency is independent and composes with the
+// others; error/drop/truncate are mutually exclusive, first match wins), so
+// ErrorP+DropP+TruncateP should stay ≤ 1.
+type Plan struct {
+	// LatencyP is the probability a call is delayed by Delay (composes
+	// with any other fault on the same call).
+	LatencyP float64
+	// Delay is the injected latency (default 10ms when LatencyP > 0).
+	Delay time.Duration
+	// ErrorP is the probability of a transport error / error status.
+	ErrorP float64
+	// Status is the HTTP status a Handler answers on an Error fault
+	// (default 500).
+	Status int
+	// DropP is the probability of a severed connection.
+	DropP float64
+	// TruncateP is the probability of a partial response.
+	TruncateP float64
+}
+
+// Schedule decides the fault for one numbered call. Implementations must be
+// safe for concurrent use.
+type Schedule interface {
+	// Decide returns the fault kinds for call i: delay composes with the
+	// exclusive kind (None, Error, Drop or Truncate).
+	Decide(call int64) (delay bool, kind Kind)
+}
+
+// seeded is the deterministic hash-based Schedule.
+type seeded struct {
+	seed int64
+	plan Plan
+}
+
+// NewSeeded returns a Schedule deriving each call's fault from
+// splitmix64(seed, call): deterministic per call index, lock-free, safe for
+// any interleaving.
+func NewSeeded(seed int64, plan Plan) Schedule {
+	if plan.Delay <= 0 {
+		plan.Delay = 10 * time.Millisecond
+	}
+	if plan.Status == 0 {
+		plan.Status = http.StatusInternalServerError
+	}
+	return &seeded{seed: seed, plan: plan}
+}
+
+// unit hashes (seed, call, lane) to a float64 in [0, 1).
+func (s *seeded) unit(call int64, lane uint64) float64 {
+	x := uint64(s.seed)*0x9e3779b97f4a7c15 + uint64(call)*0xbf58476d1ce4e5b9 + lane*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+func (s *seeded) Decide(call int64) (bool, Kind) {
+	delay := s.unit(call, 1) < s.plan.LatencyP
+	u := s.unit(call, 2)
+	switch {
+	case u < s.plan.ErrorP:
+		return delay, Error
+	case u < s.plan.ErrorP+s.plan.DropP:
+		return delay, Drop
+	case u < s.plan.ErrorP+s.plan.DropP+s.plan.TruncateP:
+		return delay, Truncate
+	}
+	return delay, None
+}
+
+// Stats counts injected faults by kind — what the chaos tests assert
+// against so a "survived the faults" pass cannot silently mean "no faults
+// fired".
+type Stats struct {
+	Calls, Delays, Errors, Drops, Truncates atomic.Int64
+}
+
+// Fired reports whether at least one non-latency fault was injected.
+func (s *Stats) Fired() bool {
+	return s.Errors.Load()+s.Drops.Load()+s.Truncates.Load() > 0
+}
+
+func (s *Stats) count(delay bool, kind Kind) {
+	s.Calls.Add(1)
+	if delay {
+		s.Delays.Add(1)
+	}
+	switch kind {
+	case Error:
+		s.Errors.Add(1)
+	case Drop:
+		s.Drops.Add(1)
+	case Truncate:
+		s.Truncates.Add(1)
+	}
+}
+
+// DroppedError is the transport error a Drop fault surfaces client-side.
+type DroppedError struct{ Call int64 }
+
+func (e *DroppedError) Error() string {
+	return fmt.Sprintf("faults: connection dropped (injected, call %d)", e.Call)
+}
+
+// InjectedError is the transport error an Error fault surfaces client-side.
+type InjectedError struct{ Call int64 }
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: transport error (injected, call %d)", e.Call)
+}
+
+// Transport wraps an http.RoundTripper with fault injection. A nil next
+// selects http.DefaultTransport. The returned transport numbers calls from
+// 0 and records them in stats (which may be nil).
+func Transport(next http.RoundTripper, sched Schedule, stats *Stats) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &transport{next: next, sched: sched, stats: stats}
+}
+
+type transport struct {
+	next  http.RoundTripper
+	sched Schedule
+	stats *Stats
+	calls atomic.Int64
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	call := t.calls.Add(1) - 1
+	delay, kind := t.sched.Decide(call)
+	t.stats.count(delay, kind)
+	if delay {
+		if err := sleepCtx(req.Context(), delayOf(t.sched)); err != nil {
+			return nil, err
+		}
+	}
+	switch kind {
+	case Error:
+		return nil, &InjectedError{Call: call}
+	case Drop:
+		return nil, &DroppedError{Call: call}
+	case Truncate:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return truncateResponse(resp), nil
+	default:
+		return t.next.RoundTrip(req)
+	}
+}
+
+// truncateResponse halves the body and makes the read end in
+// io.ErrUnexpectedEOF, the shape a torn TCP stream decodes into.
+func truncateResponse(resp *http.Response) *http.Response {
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		blob = nil
+	}
+	half := blob[:len(blob)/2]
+	resp.Body = io.NopCloser(&tornReader{r: bytes.NewReader(half)})
+	resp.ContentLength = -1
+	resp.Header.Del("Content-Length")
+	return resp
+}
+
+// tornReader yields its bytes then fails with ErrUnexpectedEOF instead of a
+// clean EOF, so JSON decoders see a torn stream, not a short document.
+type tornReader struct{ r io.Reader }
+
+func (t *tornReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// Handler wraps an http.Handler with server-side fault injection. Error
+// faults answer with the plan's status and a JSON error body; Drop faults
+// abort the connection with no response (the client sees EOF); Truncate
+// faults send roughly half of the real response then abort.
+func Handler(next http.Handler, sched Schedule, stats *Stats) http.Handler {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		call := calls.Add(1) - 1
+		delay, kind := sched.Decide(call)
+		stats.count(delay, kind)
+		if delay {
+			_ = sleepCtx(r.Context(), delayOf(sched))
+		}
+		switch kind {
+		case Error:
+			status := http.StatusInternalServerError
+			if s, ok := sched.(*seeded); ok {
+				status = s.plan.Status
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error":"injected fault (call %d)"}`, call)
+		case Drop:
+			// http.ErrAbortHandler aborts the response without a reply —
+			// net/http closes the connection and the client sees EOF.
+			panic(http.ErrAbortHandler)
+		case Truncate:
+			rec := &recorder{header: make(http.Header)}
+			next.ServeHTTP(rec, r)
+			for k, vs := range rec.header {
+				if k == "Content-Length" {
+					continue
+				}
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			w.WriteHeader(status)
+			body := rec.body.Bytes()
+			_, _ = w.Write(body[:len(body)/2])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// recorder buffers a downstream response so Truncate can cut it.
+type recorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(s int) {
+	if r.status == 0 {
+		r.status = s
+	}
+}
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+// delayOf returns the schedule's configured delay (the seeded plan's Delay;
+// a fixed default for foreign Schedule implementations).
+func delayOf(s Schedule) time.Duration {
+	if sd, ok := s.(*seeded); ok {
+		return sd.plan.Delay
+	}
+	return 10 * time.Millisecond
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

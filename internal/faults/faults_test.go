@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeededScheduleDeterministic(t *testing.T) {
+	plan := Plan{LatencyP: 0.3, ErrorP: 0.2, DropP: 0.1, TruncateP: 0.1}
+	a, b := NewSeeded(7, plan), NewSeeded(7, plan)
+	other := NewSeeded(8, plan)
+	diverged := false
+	for i := int64(0); i < 1000; i++ {
+		da, ka := a.Decide(i)
+		db, kb := b.Decide(i)
+		if da != db || ka != kb {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		do, ko := other.Decide(i)
+		if do != da || ko != ka {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical 1000-call schedules")
+	}
+}
+
+func TestSeededScheduleRates(t *testing.T) {
+	plan := Plan{ErrorP: 0.25, DropP: 0.25, TruncateP: 0.25}
+	s := NewSeeded(1, plan)
+	counts := map[Kind]int{}
+	const n = 4000
+	for i := int64(0); i < n; i++ {
+		_, k := s.Decide(i)
+		counts[k]++
+	}
+	for _, k := range []Kind{Error, Drop, Truncate, None} {
+		frac := float64(counts[k]) / n
+		if frac < 0.20 || frac > 0.30 {
+			t.Fatalf("kind %v frequency %.3f, want ~0.25", k, frac)
+		}
+	}
+}
+
+// okHandler answers a fixed JSON document.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"answer": 42, "pad": "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}`))
+	})
+}
+
+// alwaysKind is a Schedule that injects one fixed kind on every call.
+type alwaysKind struct{ kind Kind }
+
+func (a alwaysKind) Decide(int64) (bool, Kind) { return false, a.kind }
+
+func TestTransportError(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+	var st Stats
+	cl := &http.Client{Transport: Transport(nil, alwaysKind{Error}, &st)}
+	_, err := cl.Get(srv.URL)
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("error %v, want InjectedError", err)
+	}
+	if st.Errors.Load() != 1 || st.Calls.Load() != 1 {
+		t.Fatalf("stats errors=%d calls=%d, want 1/1", st.Errors.Load(), st.Calls.Load())
+	}
+}
+
+func TestTransportDrop(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+	cl := &http.Client{Transport: Transport(nil, alwaysKind{Drop}, nil)}
+	_, err := cl.Get(srv.URL)
+	var d *DroppedError
+	if !errors.As(err, &d) {
+		t.Fatalf("error %v, want DroppedError", err)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+	cl := &http.Client{Transport: Transport(nil, alwaysKind{Truncate}, nil)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	if err == nil {
+		t.Fatal("decoding a truncated body succeeded")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("decode error %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+	var st Stats
+	cl := &http.Client{Transport: Transport(nil, NewSeeded(1, Plan{}), &st)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct{ Answer int }
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || v.Answer != 42 {
+		t.Fatalf("decode = (%+v, %v), want clean pass-through", v, err)
+	}
+	if st.Fired() {
+		t.Fatal("empty plan injected faults")
+	}
+}
+
+func TestHandlerErrorStatus(t *testing.T) {
+	sched := NewSeeded(1, Plan{ErrorP: 1, Status: http.StatusBadGateway})
+	srv := httptest.NewServer(Handler(okHandler(), sched, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	var v struct{ Error string }
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || v.Error == "" {
+		t.Fatalf("injected error body = (%+v, %v), want JSON error", v, err)
+	}
+}
+
+func TestHandlerDrop(t *testing.T) {
+	srv := httptest.NewServer(Handler(okHandler(), alwaysKind{Drop}, nil))
+	defer srv.Close()
+	_, err := http.Get(srv.URL)
+	if err == nil {
+		t.Fatal("dropped connection answered successfully")
+	}
+}
+
+func TestHandlerTruncate(t *testing.T) {
+	srv := httptest.NewServer(Handler(okHandler(), alwaysKind{Truncate}, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err == nil {
+		t.Fatal("decoding a server-truncated body succeeded")
+	}
+}
+
+func TestHandlerLatency(t *testing.T) {
+	sched := NewSeeded(1, Plan{LatencyP: 1, Delay: 30 * time.Millisecond})
+	srv := httptest.NewServer(Handler(okHandler(), sched, nil))
+	defer srv.Close()
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency fault delayed only %v, want >= ~30ms", d)
+	}
+}
+
+func TestConcurrentCallsRace(t *testing.T) {
+	srv := httptest.NewServer(Handler(okHandler(), NewSeeded(3, Plan{ErrorP: 0.3, DropP: 0.2}), nil))
+	defer srv.Close()
+	var st Stats
+	cl := &http.Client{Transport: Transport(nil, NewSeeded(4, Plan{ErrorP: 0.2, TruncateP: 0.2}), &st)}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := cl.Get(srv.URL)
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Calls.Load() != 200 {
+		t.Fatalf("transport counted %d calls, want 200", st.Calls.Load())
+	}
+}

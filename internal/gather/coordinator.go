@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/sampling"
 	"repro/internal/simtime"
 )
@@ -47,6 +49,11 @@ type Config struct {
 	WorkerFailureLimit int
 	// HTTP overrides the transport (default: 15s request timeout).
 	HTTP *http.Client
+	// Retry is the transport-level retry policy for register and dispatch
+	// POSTs (default: 3 attempts, 50 ms initial backoff capped at 500 ms).
+	// Result polling derives its own policy from PollInterval and
+	// UnitTimeout instead — the poll cadence is the retry cadence.
+	Retry retry.Policy
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 	// Metrics, when non-nil, receives the coordinator's Prometheus
@@ -105,6 +112,15 @@ func New(cfg Config) *Coordinator {
 	}
 	if cfg.HTTP == nil {
 		cfg.HTTP = &http.Client{Timeout: 15 * time.Second}
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry.MaxAttempts = 3
+	}
+	if cfg.Retry.Initial <= 0 {
+		cfg.Retry.Initial = 50 * time.Millisecond
+	}
+	if cfg.Retry.Max <= 0 {
+		cfg.Retry.Max = 500 * time.Millisecond
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -249,13 +265,17 @@ func (c *Coordinator) Gather(gcfg core.GatherConfig) ([]core.ShapeTimings, error
 		return assemble(units, completed, gcfg.NumShapes)
 	}
 
-	// Register the fleet; workers that refuse or cannot be reached are
-	// dropped (and logged) — the sweep needs at least one.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Register the fleet; workers that refuse or cannot be reached (after
+	// the transport retry budget) are dropped (and logged) — the sweep
+	// needs at least one.
 	var live []string
 	for _, addr := range c.cfg.Workers {
 		base := normalizeWorkerURL(addr)
 		var reg RegisterResponse
-		if err := c.postJSON(base+"/register", spec, &reg); err != nil {
+		if err := c.postJSON(ctx, base+"/register", spec, &reg); err != nil {
 			c.cfg.Logf("worker %s: register failed: %v", base, err)
 			continue
 		}
@@ -268,8 +288,6 @@ func (c *Coordinator) Gather(gcfg core.GatherConfig) ([]core.ShapeTimings, error
 	stats.WorkersRegistered = len(live)
 	c.metrics.fleetRegistered(len(live))
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	r = &run{ctx: ctx, cancel: cancel}
 	for _, u := range units {
 		if _, done := completed[u.ID]; !done {
@@ -436,41 +454,55 @@ func (c *Coordinator) requeue(r *run, pu pendingUnit, base string, err error) {
 	r.queue.push(pu)
 }
 
+// errUnitPending is the retryable sentinel one /result poll returns while
+// the worker is still executing — the retry loop keeps polling on it.
+var errUnitPending = errors.New("unit still executing")
+
 // runUnit dispatches one unit to one worker and polls for its result until
-// UnitTimeout.
+// UnitTimeout. The poll loop is a retry.Do with a fixed backoff equal to
+// PollInterval, unbounded attempts, and the unit timeout as the budget —
+// the single shared retry implementation instead of a bespoke loop.
 func (c *Coordinator) runUnit(ctx context.Context, base string, spec SweepSpec, u Unit) (*UnitResult, error) {
-	if err := c.postJSON(base+"/work", WorkRequest{Session: spec.Session, Unit: u}, nil); err != nil {
+	if err := c.postJSON(ctx, base+"/work", WorkRequest{Session: spec.Session, Unit: u}, nil); err != nil {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
-	deadline := time.Now().Add(c.cfg.UnitTimeout)
 	url := fmt.Sprintf("%s/result?session=%s&id=%d", base, spec.Session, u.ID)
-	for {
+	poll := retry.Policy{
+		MaxAttempts: -1,
+		Initial:     c.cfg.PollInterval,
+		Max:         c.cfg.PollInterval,
+		Multiplier:  1,
+		Budget:      c.cfg.UnitTimeout,
+	}
+	res, err := retry.DoValue(ctx, poll, func(ctx context.Context) (*UnitResult, error) {
+		res, pending, err := c.getResult(ctx, url)
+		if err != nil {
+			// Definitive worker answers (404/409/500, torn result bodies)
+			// fail the unit now; only "still executing" keeps polling.
+			return nil, retry.Fatal(err)
+		}
+		if pending {
+			return nil, errUnitPending
+		}
+		return res, nil
+	})
+	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		if time.Now().After(deadline) {
+		if errors.Is(err, context.DeadlineExceeded) {
 			return nil, fmt.Errorf("unit %d timed out after %v on %s", u.ID, c.cfg.UnitTimeout, base)
 		}
-		res, pending, err := c.getResult(url)
-		if err != nil {
-			return nil, err
-		}
-		if !pending {
-			// Start matters as much as ID and Count: a result timing the
-			// wrong slice of the sample stream would merge into the wrong
-			// sweep positions and silently corrupt the trained model.
-			if res.UnitID != u.ID || res.Start != u.Start || res.Count != u.Count || len(res.Timings) != u.Count {
-				return nil, fmt.Errorf("worker %s answered unit %d [%d,%d) with mismatched result (unit %d [%d,%d), %d timings)",
-					base, u.ID, u.Start, u.Start+u.Count, res.UnitID, res.Start, res.Start+res.Count, len(res.Timings))
-			}
-			return res, nil
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(c.cfg.PollInterval):
-		}
+		return nil, err
 	}
+	// Start matters as much as ID and Count: a result timing the wrong
+	// slice of the sample stream would merge into the wrong sweep positions
+	// and silently corrupt the trained model.
+	if res.UnitID != u.ID || res.Start != u.Start || res.Count != u.Count || len(res.Timings) != u.Count {
+		return nil, fmt.Errorf("worker %s answered unit %d [%d,%d) with mismatched result (unit %d [%d,%d), %d timings)",
+			base, u.ID, u.Start, u.Start+u.Count, res.UnitID, res.Start, res.Start+res.Count, len(res.Timings))
+	}
+	return res, nil
 }
 
 // getResult performs one poll. pending is true while the worker is still
@@ -480,9 +512,18 @@ func (c *Coordinator) runUnit(ctx context.Context, base string, spec SweepSpec, 
 // blip) wastes it all. Polling keeps going until the unit's deadline; a
 // permanently dead worker is caught there, and definitively by its next
 // dispatch. Definitive worker answers (404/409/500) still fail the unit.
-func (c *Coordinator) getResult(url string) (res *UnitResult, pending bool, err error) {
-	resp, err := c.cfg.HTTP.Get(url)
+func (c *Coordinator) getResult(ctx context.Context, url string) (res *UnitResult, pending bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The unit budget (or the run) expired mid-request; let the
+			// retry loop translate it rather than masking it as a blip.
+			return nil, true, nil
+		}
 		c.cfg.Logf("poll %s: %v (retrying until the unit deadline)", url, err)
 		return nil, true, nil
 	}
@@ -501,28 +542,46 @@ func (c *Coordinator) getResult(url string) (res *UnitResult, pending bool, err 
 	}
 }
 
-// postJSON issues one POST and decodes the answer into out (when non-nil).
-// 2xx statuses succeed.
-func (c *Coordinator) postJSON(url string, body, out any) error {
+// postJSON issues one POST under the transport retry policy and decodes the
+// answer into out (when non-nil). 2xx statuses succeed; transport errors and
+// 5xx answers retry (the worker's /work handler is idempotent for
+// re-dispatch, so a duplicate POST is safe); other statuses fail
+// immediately — the worker understood the request and refused it.
+func (c *Coordinator) postJSON(ctx context.Context, url string, body, out any) error {
 	blob, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("encode request: %w", err)
 	}
-	resp, err := c.cfg.HTTP.Post(url, "application/json", bytes.NewReader(blob))
-	if err != nil {
-		return err
+	p := c.cfg.Retry
+	p.OnRetry = func(attempt int, err error, backoff time.Duration) {
+		c.cfg.Logf("POST %s: attempt %d failed (%v), retrying in %v", url, attempt, err, backoff)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return httpError(resp)
-	}
-	if out == nil {
+	return retry.Do(ctx, p, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
+		if err != nil {
+			return retry.Fatalf("build request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.cfg.HTTP.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			err := httpError(resp)
+			if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+				return err
+			}
+			return retry.Fatal(err)
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("decode response: %w", err)
+		}
 		return nil
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("decode response: %w", err)
-	}
-	return nil
+	})
 }
 
 // httpError converts a non-success response into an error carrying the

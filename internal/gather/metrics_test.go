@@ -1,6 +1,7 @@
 package gather
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -66,7 +67,7 @@ func TestWorkerReadinessLifecycle(t *testing.T) {
 	}
 	sweep.Session = sweep.Fingerprint()
 	coord := New(fastCoordinator([]string{srv.URL}, spec))
-	if err := coord.postJSON(srv.URL+"/register", sweep, nil); err != nil {
+	if err := coord.postJSON(context.Background(), srv.URL+"/register", sweep, nil); err != nil {
 		t.Fatal(err)
 	}
 	if code, st := probe("/healthz"); code != http.StatusOK || st.Status != "ok" || !st.Registered {

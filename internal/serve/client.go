@@ -2,65 +2,152 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/retry"
 	"repro/internal/sampling"
 )
 
-// Client is a Go client for the adsala-serve HTTP API.
+// maxResponseBytes caps how much of a response body the client will read.
+// The largest legitimate answer (a full-detail batch) is far below this;
+// anything bigger is a misbehaving or malicious peer and must not balloon
+// client memory.
+const maxResponseBytes = 8 << 20
+
+// StatusError is a non-200 answer from the server. Status 429 and all 5xx
+// are retryable (the client's retry policy handles them transparently);
+// other 4xx are fatal — the request itself is wrong and resending the same
+// bytes cannot fix it.
+type StatusError struct {
+	Status  int
+	Message string
+	// RetryAfter is the server's Retry-After hint on a 429 shed (zero when
+	// absent).
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s (HTTP %d)", e.Message, e.Status)
+	}
+	return fmt.Sprintf("HTTP %d", e.Status)
+}
+
+// Retryable reports whether resending the identical request can succeed.
+func (e *StatusError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// Client is a Go client for the adsala-serve HTTP API. Transient failures —
+// transport errors, torn responses, 5xx answers and 429 sheds — are retried
+// under a capped-backoff retry.Policy; 4xx answers fail immediately.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry retry.Policy
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetryPolicy replaces the client's retry policy. A zero Policy gets
+// the retry package defaults; set MaxAttempts to 1 to disable retries.
+func WithRetryPolicy(p retry.Policy) ClientOption {
+	return func(c *Client) { c.retry = p }
 }
 
 // NewClient returns a client for the server at baseURL (e.g.
 // "http://localhost:8080"). A nil httpClient selects a default with a 10 s
-// timeout.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
+// timeout. The default retry policy makes 3 attempts with 50 ms initial
+// backoff, capped at 1 s.
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: httpClient,
+		retry: retry.Policy{
+			MaxAttempts: 3,
+			Initial:     50 * time.Millisecond,
+			Max:         time.Second,
+		},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
-// do issues one request and decodes the JSON answer into out.
-func (c *Client) do(method, path string, body, out any) error {
-	var rd io.Reader
+// do issues one request under the retry policy and decodes the JSON answer
+// into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var blob []byte
 	if body != nil {
-		blob, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if blob, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("serve: encode request: %w", err)
 		}
+	}
+	return retry.Do(ctx, c.retry, func(ctx context.Context) error {
+		return c.attempt(ctx, method, path, blob, out)
+	})
+}
+
+// attempt is one request/response cycle. It closes the response body on
+// every path, caps reads at maxResponseBytes, and classifies failures:
+// transport errors and torn/garbled bodies are retryable, 4xx (except 429)
+// fatal.
+func (c *Client) attempt(ctx context.Context, method, path string, blob []byte, out any) error {
+	var rd io.Reader
+	if blob != nil {
 		rd = bytes.NewReader(blob)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return fmt.Errorf("serve: build request: %w", err)
+		return retry.Fatalf("serve: build request: %w", err)
 	}
-	if body != nil {
+	if blob != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		// Transport-level failure: connection refused, reset, timeout. All
+		// retryable — the server may be restarting or shedding hard.
 		return fmt.Errorf("serve: %s %s: %w", method, path, err)
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain a bounded remainder so the connection can be reused, then
+		// close on every path.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	limited := io.LimitReader(resp.Body, maxResponseBytes)
 	if resp.StatusCode != http.StatusOK {
+		sErr := &StatusError{Status: resp.StatusCode, RetryAfter: retryAfter(resp.Header)}
 		var apiErr apiError
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		if json.NewDecoder(limited).Decode(&apiErr) == nil && apiErr.Error != "" {
+			sErr.Message = apiErr.Error
 		}
-		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+		wrapped := fmt.Errorf("serve: %s %s: %w", method, path, sErr)
+		if !sErr.Retryable() {
+			return retry.Fatal(wrapped)
+		}
+		return wrapped
 	}
 	if out == nil {
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+	if err := json.NewDecoder(limited).Decode(out); err != nil {
+		// A torn or garbled body usually means the connection died
+		// mid-answer; a fresh attempt gets a fresh stream.
 		return fmt.Errorf("serve: decode %s response: %w", path, err)
 	}
 	return nil
@@ -68,14 +155,24 @@ func (c *Client) do(method, path string, body, out any) error {
 
 // Predict asks the server for the optimal thread count of one GEMM shape.
 func (c *Client) Predict(m, k, n int) (int, error) {
-	return c.PredictOp(OpGEMM, m, k, n)
+	return c.PredictCtx(context.Background(), m, k, n)
+}
+
+// PredictCtx is Predict bounded by the caller's context.
+func (c *Client) PredictCtx(ctx context.Context, m, k, n int) (int, error) {
+	return c.PredictOpCtx(ctx, OpGEMM, m, k, n)
 }
 
 // PredictOp asks the server for the optimal thread count of one shape under
 // an explicit operation kind (SYRK shapes pass the (n, k, n) triple).
 func (c *Client) PredictOp(op Op, m, k, n int) (int, error) {
+	return c.PredictOpCtx(context.Background(), op, m, k, n)
+}
+
+// PredictOpCtx is PredictOp bounded by the caller's context.
+func (c *Client) PredictOpCtx(ctx context.Context, op Op, m, k, n int) (int, error) {
 	var resp PredictResponse
-	if err := c.do(http.MethodPost, "/predict", PredictRequest{M: m, K: k, N: n, Op: op.String()}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/predict", PredictRequest{M: m, K: k, N: n, Op: op.String()}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Threads, nil
@@ -83,29 +180,44 @@ func (c *Client) PredictOp(op Op, m, k, n int) (int, error) {
 
 // PredictDetail returns the full candidate ranking for one GEMM shape.
 func (c *Client) PredictDetail(m, k, n int) (PredictResponse, error) {
-	return c.PredictDetailOp(OpGEMM, m, k, n)
+	return c.PredictDetailOpCtx(context.Background(), OpGEMM, m, k, n)
 }
 
 // PredictDetailOp is PredictDetail under an explicit operation kind.
 func (c *Client) PredictDetailOp(op Op, m, k, n int) (PredictResponse, error) {
+	return c.PredictDetailOpCtx(context.Background(), op, m, k, n)
+}
+
+// PredictDetailOpCtx is PredictDetailOp bounded by the caller's context.
+func (c *Client) PredictDetailOpCtx(ctx context.Context, op Op, m, k, n int) (PredictResponse, error) {
 	var resp PredictResponse
-	err := c.do(http.MethodPost, "/predict?detail=1", PredictRequest{M: m, K: k, N: n, Op: op.String()}, &resp)
+	err := c.do(ctx, http.MethodPost, "/predict?detail=1", PredictRequest{M: m, K: k, N: n, Op: op.String()}, &resp)
 	return resp, err
 }
 
 // PredictBatch asks the server for the optimal thread counts of many GEMM
 // shapes in one round trip.
 func (c *Client) PredictBatch(shapes []sampling.Shape) ([]int, error) {
-	return c.PredictBatchOp(OpGEMM, shapes)
+	return c.PredictBatchCtx(context.Background(), shapes)
+}
+
+// PredictBatchCtx is PredictBatch bounded by the caller's context.
+func (c *Client) PredictBatchCtx(ctx context.Context, shapes []sampling.Shape) ([]int, error) {
+	return c.PredictBatchOpCtx(ctx, OpGEMM, shapes)
 }
 
 // PredictBatchOp is PredictBatch under an explicit operation kind.
 func (c *Client) PredictBatchOp(op Op, shapes []sampling.Shape) ([]int, error) {
+	return c.PredictBatchOpCtx(context.Background(), op, shapes)
+}
+
+// PredictBatchOpCtx is PredictBatchOp bounded by the caller's context.
+func (c *Client) PredictBatchOpCtx(ctx context.Context, op Op, shapes []sampling.Shape) ([]int, error) {
 	reqs := make([]PredictRequest, len(shapes))
 	for i, sh := range shapes {
 		reqs[i] = PredictRequest{M: sh.M, K: sh.K, N: sh.N, Op: op.String()}
 	}
-	return c.PredictBatchRequests(reqs)
+	return c.PredictBatchRequestsCtx(ctx, reqs)
 }
 
 // PredictBatchRequests sends a mixed-operation batch in one round trip:
@@ -113,8 +225,14 @@ func (c *Client) PredictBatchOp(op Op, shapes []sampling.Shape) ([]int, error) {
 // request order — the server splits per op and maps every decision back to
 // its slot.
 func (c *Client) PredictBatchRequests(reqs []PredictRequest) ([]int, error) {
+	return c.PredictBatchRequestsCtx(context.Background(), reqs)
+}
+
+// PredictBatchRequestsCtx is PredictBatchRequests bounded by the caller's
+// context.
+func (c *Client) PredictBatchRequestsCtx(ctx context.Context, reqs []PredictRequest) ([]int, error) {
 	var resp BatchResponse
-	if err := c.do(http.MethodPost, "/batch", BatchRequest{Shapes: reqs}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/batch", BatchRequest{Shapes: reqs}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Threads) != len(reqs) {
@@ -125,14 +243,75 @@ func (c *Client) PredictBatchRequests(reqs []PredictRequest) ([]int, error) {
 
 // Stats fetches the server's engine and HTTP metrics.
 func (c *Client) Stats() (StatsResponse, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats bounded by the caller's context.
+func (c *Client) StatsCtx(ctx context.Context) (StatsResponse, error) {
 	var resp StatsResponse
-	err := c.do(http.MethodGet, "/stats", nil, &resp)
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &resp)
 	return resp, err
 }
 
 // Healthz checks server liveness.
 func (c *Client) Healthz() (HealthResponse, error) {
+	return c.HealthzCtx(context.Background())
+}
+
+// HealthzCtx is Healthz bounded by the caller's context.
+func (c *Client) HealthzCtx(ctx context.Context) (HealthResponse, error) {
 	var resp HealthResponse
-	err := c.do(http.MethodGet, "/healthz", nil, &resp)
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp)
 	return resp, err
+}
+
+// Reload asks the server to hot-swap its artefact through POST
+// /admin/reload, authenticating with token. The answer is the post-swap
+// health body (new generation, format version and op list).
+func (c *Client) Reload(ctx context.Context, token string) (HealthResponse, error) {
+	var resp HealthResponse
+	err := retry.Do(ctx, c.retry, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/admin/reload", nil)
+		if err != nil {
+			return retry.Fatalf("serve: build request: %w", err)
+		}
+		req.Header.Set("X-Adsala-Admin-Token", token)
+		hr, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("serve: POST /admin/reload: %w", err)
+		}
+		defer hr.Body.Close()
+		limited := io.LimitReader(hr.Body, maxResponseBytes)
+		if hr.StatusCode != http.StatusOK {
+			sErr := &StatusError{Status: hr.StatusCode}
+			var apiErr apiError
+			if json.NewDecoder(limited).Decode(&apiErr) == nil && apiErr.Error != "" {
+				sErr.Message = apiErr.Error
+			}
+			wrapped := fmt.Errorf("serve: POST /admin/reload: %w", sErr)
+			if !sErr.Retryable() {
+				return retry.Fatal(wrapped)
+			}
+			return wrapped
+		}
+		if err := json.NewDecoder(limited).Decode(&resp); err != nil {
+			return fmt.Errorf("serve: decode /admin/reload response: %w", err)
+		}
+		return nil
+	})
+	return resp, err
+}
+
+// retryAfter parses a Retry-After header in seconds (the only form the
+// server emits); 0 means absent or unparseable.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

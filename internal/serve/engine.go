@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -38,13 +39,21 @@ type Options struct {
 // and the op always keys the decision cache, so decisions never alias
 // across operations either way.
 type Engine struct {
-	lib     *core.Library
+	// state bundles the served library with a scratch pool sized for it;
+	// SwapLibrary replaces the whole bundle atomically, so a ranking in
+	// flight always pairs a library with scratches sized for that library
+	// even while a hot reload lands.
+	state   atomic.Pointer[libState]
 	cache   *Cache
 	workers int
 
-	scratch sync.Pool // *core.Scratch
+	// generation counts artefact swaps (0 = the boot artefact); /healthz
+	// surfaces it so an operator can confirm a reload took effect even
+	// when old and new artefacts share a format version.
+	generation atomic.Int64
 
 	predictions atomic.Int64 // selections served (cached or computed)
+	fallbacks   atomic.Int64 // selections answered by the heuristic fallback
 	evalNanos   atomic.Int64 // cumulative time spent in cache-miss ranking
 	evals       atomic.Int64 // cache-miss rankings performed
 
@@ -77,6 +86,21 @@ type opCounters struct {
 	misses      atomic.Int64
 }
 
+// libState pairs a library with a scratch pool sized for its models. The
+// pool lives and dies with the library: after a swap, scratches sized for
+// the old bundle drain into the old pool and are collected, so a reloaded
+// artefact with wider feature rows can never receive an undersized buffer.
+type libState struct {
+	lib     *core.Library
+	scratch sync.Pool // *core.Scratch
+}
+
+func newLibState(lib *core.Library) *libState {
+	st := &libState{lib: lib}
+	st.scratch.New = func() any { return lib.NewScratch() }
+	return st
+}
+
 // NewEngine returns an Engine over the library with the given options.
 func NewEngine(lib *core.Library, opts Options) *Engine {
 	workers := opts.Workers
@@ -84,7 +108,6 @@ func NewEngine(lib *core.Library, opts Options) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		lib:        lib,
 		cache:      NewCache(opts.CacheSize, opts.Shards),
 		workers:    workers,
 		perOp:      make([]opCounters, ops.NumOps()),
@@ -95,12 +118,28 @@ func NewEngine(lib *core.Library, opts Options) *Engine {
 	for i := range e.decLatency {
 		e.decLatency[i] = obs.NewHistogram(1e-9)
 	}
-	e.scratch.New = func() any { return lib.NewScratch() }
+	e.state.Store(newLibState(lib))
 	return e
 }
 
-// Library returns the library the engine serves.
-func (e *Engine) Library() *core.Library { return e.lib }
+// Library returns the library the engine currently serves (the latest one
+// after hot reloads).
+func (e *Engine) Library() *core.Library { return e.state.Load().lib }
+
+// SwapLibrary atomically replaces the served artefact — the hot-reload
+// path. The decision cache is reset (its decisions rank with the old
+// models and would otherwise be served as if the new artefact made them)
+// and the generation counter advances; the caller re-warms in the
+// background. Requests in flight finish against whichever artefact they
+// started with; no request ever observes a half-swapped state.
+func (e *Engine) SwapLibrary(lib *core.Library) {
+	e.state.Store(newLibState(lib))
+	e.cache.Reset()
+	e.generation.Add(1)
+}
+
+// Generation returns the number of artefact swaps since boot.
+func (e *Engine) Generation() int64 { return e.generation.Load() }
 
 // Cache returns the engine's decision cache.
 func (e *Engine) Cache() *Cache { return e.cache }
@@ -113,17 +152,82 @@ func (e *Engine) Predict(m, k, n int) int { return e.PredictOp(OpGEMM, m, k, n) 
 // with the op's model and is cached under (op, shape). SYRK and SYR2K
 // callers pass the (n, k, n) triple of the equivalent output shape.
 func (e *Engine) PredictOp(op Op, m, k, n int) int {
+	threads, _ := e.PredictOpCtx(context.Background(), op, m, k, n)
+	return threads
+}
+
+// PredictOpCtx is PredictOp with a request deadline and graceful
+// degradation: the answer is never an error. Cached decisions are served
+// regardless of ctx (a cache read is nanoseconds). A cache miss ranks the
+// candidates unless the artefact holds no model for the op or ctx has
+// already expired (an overloaded or deadline-blown request must not queue
+// behind a model evaluation it has no time for) — in those cases the
+// deterministic heuristic answers instead, fallback returns true, and the
+// decision is NOT cached, so the model takes over the moment it can answer
+// again.
+func (e *Engine) PredictOpCtx(ctx context.Context, op Op, m, k, n int) (threads int, fallback bool) {
 	e.predictions.Add(1)
 	oc := e.opCounters(op)
 	oc.predictions.Add(1)
 	if threads, ok := e.cache.Get(op, m, k, n); ok {
 		oc.hits.Add(1)
-		return threads
+		return threads, false
 	}
 	oc.misses.Add(1)
-	threads := e.rank(op, m, k, n, nil)
+	st := e.state.Load()
+	if st.lib.ModelFor(op) == nil || ctx.Err() != nil {
+		e.fallbacks.Add(1)
+		return heuristicChoice(st.lib.Candidates, op, m, k, n), true
+	}
+	threads = e.rankWith(st, op, m, k, n, nil)
 	e.cache.Put(op, m, k, n, threads)
-	return threads
+	return threads, false
+}
+
+// HeuristicThreads is the deterministic degraded-mode thread choice: the
+// answer served when no model can (missing from the artefact, or no time
+// budget left to evaluate one). Exposed so tests and callers can pin the
+// degradation contract.
+func (e *Engine) HeuristicThreads(op Op, m, k, n int) int {
+	return heuristicChoice(e.state.Load().lib.Candidates, op, m, k, n)
+}
+
+// heuristicChoice picks a thread count without a model: the largest
+// candidate not exceeding GOMAXPROCS, clamped down for small problems
+// (fork/join overhead dominates tiny kernels — the same intuition the
+// paper's trained policy learns, reduced to a deterministic rule). Purely
+// a function of (candidates, op, shape, GOMAXPROCS): two replicas degrade
+// to identical answers.
+func heuristicChoice(candidates []int, op Op, m, k, n int) int {
+	if len(candidates) == 0 {
+		return 1
+	}
+	limit := runtime.GOMAXPROCS(0)
+	// Problem-size clamp on the parallelism budget, by FLOP count of the
+	// op at this shape (registry-supplied, so new ops inherit the rule).
+	flops := op.Spec().Flops(m, k, n)
+	switch {
+	case flops < 1e6:
+		limit = 1
+	case flops < 1e8:
+		if limit > 4 {
+			limit = 4
+		}
+	}
+	best, min := 0, 0
+	for i, c := range candidates {
+		if i == 0 || c < candidates[min] {
+			min = i
+		}
+		if c <= limit && (best == 0 || c > best) {
+			best = c
+		}
+	}
+	if best == 0 {
+		// Every candidate exceeds the budget; the smallest is the least bad.
+		return candidates[min]
+	}
+	return best
 }
 
 // opCounters returns the op's counter slot (GEMM for out-of-range ops, so a
@@ -141,18 +245,20 @@ func (e *Engine) CachedChoice(op Op, m, k, n int) (threads int, ok bool) {
 	return e.cache.Peek(op, m, k, n)
 }
 
-// rank runs one full candidate ranking with the op's model and a pooled
-// scratch, recording the evaluation latency. scores, when non-nil, receives
-// per-candidate predicted seconds (len(Candidates())).
-func (e *Engine) rank(op Op, m, k, n int, scores []float64) int {
-	s := e.scratch.Get().(*core.Scratch)
+// rankWith runs one full candidate ranking with the given library state's
+// model and a pooled scratch, recording the evaluation latency. scores,
+// when non-nil, receives per-candidate predicted seconds. The state is
+// passed in (not re-loaded) so one ranking uses a consistent
+// library/scratch pair across a concurrent SwapLibrary.
+func (e *Engine) rankWith(st *libState, op Op, m, k, n int, scores []float64) int {
+	s := st.scratch.Get().(*core.Scratch)
 	start := time.Now()
-	best := e.lib.Candidates[e.lib.RankOpInto(op, m, k, n, s, scores)]
+	best := st.lib.Candidates[st.lib.RankOpInto(op, m, k, n, s, scores)]
 	ns := time.Since(start).Nanoseconds()
 	e.evalNanos.Add(ns)
 	e.evals.Add(1)
 	e.latencyHist(op).Observe(ns)
-	e.scratch.Put(s)
+	st.scratch.Put(s)
 	return best
 }
 
@@ -167,7 +273,7 @@ func (e *Engine) latencyHist(op Op) *obs.Histogram {
 
 // Candidates returns the candidate thread counts the engine ranks.
 func (e *Engine) Candidates() []int {
-	return append([]int(nil), e.lib.Candidates...)
+	return append([]int(nil), e.state.Load().lib.Candidates...)
 }
 
 // Rank returns the per-candidate predicted runtimes (seconds, aligned with
@@ -179,15 +285,22 @@ func (e *Engine) Rank(m, k, n int) (scores []float64, best int) {
 // RankOp is Rank for an explicit operation kind. The cache cannot answer it
 // (it stores decisions, not score vectors), so every call ranks afresh and
 // is counted as one prediction and one cache miss — keeping the /stats
-// hit_rate consistent with the work actually performed.
+// hit_rate consistent with the work actually performed. On a model-less
+// artefact the heuristic answers with zeroed scores (there is no model to
+// score with) and the fallback counter advances.
 func (e *Engine) RankOp(op Op, m, k, n int) (scores []float64, best int) {
 	e.predictions.Add(1)
 	e.cache.misses.Add(1)
 	oc := e.opCounters(op)
 	oc.predictions.Add(1)
 	oc.misses.Add(1)
-	scores = make([]float64, len(e.lib.Candidates))
-	best = e.rank(op, m, k, n, scores)
+	st := e.state.Load()
+	scores = make([]float64, len(st.lib.Candidates))
+	if st.lib.ModelFor(op) == nil {
+		e.fallbacks.Add(1)
+		return scores, heuristicChoice(st.lib.Candidates, op, m, k, n)
+	}
+	best = e.rankWith(st, op, m, k, n, scores)
 	e.cache.Put(op, m, k, n, best)
 	return scores, best
 }
@@ -210,17 +323,31 @@ func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
 // every shape in the batch (mixed-op batches split per op at the HTTP
 // layer).
 func (e *Engine) PredictBatchOp(op Op, shapes []sampling.Shape, out []int) []int {
+	out, _ = e.PredictBatchOpCtx(context.Background(), op, shapes, out)
+	return out
+}
+
+// PredictBatchOpCtx is PredictBatchOp with a request deadline and graceful
+// degradation. fallback is nil when every decision came from the cache or a
+// model; otherwise it has len(shapes) with true at each slot answered by
+// the deterministic heuristic (ctx expired mid-batch, or the artefact holds
+// no model for the op).
+func (e *Engine) PredictBatchOpCtx(ctx context.Context, op Op, shapes []sampling.Shape, out []int) (threads []int, fallback []bool) {
 	if len(out) < len(shapes) {
 		out = make([]int, len(shapes))
 	}
 	out = out[:len(shapes)]
 	if len(shapes) == 0 {
-		return out
+		return out, nil
 	}
 	e.batchSizes.Observe(int64(len(shapes)))
 	if len(shapes) == 1 {
-		out[0] = e.PredictOp(op, shapes[0].M, shapes[0].K, shapes[0].N)
-		return out
+		t, fb := e.PredictOpCtx(ctx, op, shapes[0].M, shapes[0].K, shapes[0].N)
+		out[0] = t
+		if fb {
+			return out, []bool{true}
+		}
+		return out, nil
 	}
 
 	// Dedup pass: slot[i] points each request at its distinct shape.
@@ -245,13 +372,14 @@ func (e *Engine) PredictBatchOp(op Op, shapes []sampling.Shape, out []int) []int
 	}
 
 	vals := make([]int, len(uniq))
+	fbs := make([]bool, len(uniq))
 	workers := e.workers
 	if workers > len(uniq) {
 		workers = len(uniq)
 	}
 	if workers <= 1 {
 		for u, sh := range uniq {
-			vals[u] = e.PredictOp(op, sh.M, sh.K, sh.N)
+			vals[u], fbs[u] = e.PredictOpCtx(ctx, op, sh.M, sh.K, sh.N)
 		}
 	} else {
 		var next atomic.Int64
@@ -266,16 +394,29 @@ func (e *Engine) PredictBatchOp(op Op, shapes []sampling.Shape, out []int) []int
 						return
 					}
 					sh := uniq[u]
-					vals[u] = e.PredictOp(op, sh.M, sh.K, sh.N)
+					vals[u], fbs[u] = e.PredictOpCtx(ctx, op, sh.M, sh.K, sh.N)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	any := false
+	for _, fb := range fbs {
+		if fb {
+			any = true
+			break
+		}
+	}
+	if any {
+		fallback = make([]bool, len(shapes))
+	}
 	for i, u := range slot {
 		out[i] = vals[u]
+		if any {
+			fallback[i] = fbs[u]
+		}
 	}
-	return out
+	return out, fallback
 }
 
 // Warmup pre-populates the decision cache with n quasi-random shapes per
@@ -299,7 +440,7 @@ func (e *Engine) Warmup(dom sampling.Domain, n int, seed int64, opSet ...Op) (in
 		return 0, nil
 	}
 	if len(opSet) == 0 {
-		opSet = e.lib.TrainedOps()
+		opSet = e.Library().TrainedOps()
 		if len(opSet) == 0 {
 			opSet = []Op{OpGEMM}
 		}
@@ -351,6 +492,12 @@ type Stats struct {
 	CacheLen    int     `json:"cache_len"`
 	CacheCap    int     `json:"cache_capacity"`
 	Shards      int     `json:"shards"`
+	// Fallbacks counts decisions answered by the deterministic heuristic
+	// instead of a model — the degraded-mode traffic (model missing from
+	// the artefact, or the request deadline expired before ranking).
+	Fallbacks int64 `json:"fallbacks,omitempty"`
+	// Generation counts hot artefact reloads since boot.
+	Generation int64 `json:"artefact_generation"`
 	// WarmupDecisions / WarmupHits / WarmupMisses are the counter deltas of
 	// Warmup passes, excluded from the serving counters above.
 	WarmupDecisions int64 `json:"warmup_decisions,omitempty"`
@@ -420,6 +567,8 @@ func (e *Engine) Stats() Stats {
 		Predictions:     max0(pred - warmPred),
 		CacheHits:       hits,
 		CacheMisses:     misses,
+		Fallbacks:       e.fallbacks.Load(),
+		Generation:      e.generation.Load(),
 		CacheLen:        e.cache.Len(),
 		CacheCap:        e.cache.Capacity(),
 		Shards:          e.cache.Shards(),

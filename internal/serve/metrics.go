@@ -32,6 +32,13 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 	r.RegisterHistogram("adsala_serve_batch_size",
 		"Shapes per PredictBatch call.", e.batchSizes)
 
+	r.CounterFunc("adsala_serve_fallbacks_total",
+		"Decisions answered by the deterministic heuristic fallback instead of a model.",
+		counterView(&e.fallbacks))
+	r.GaugeFunc("adsala_serve_artefact_generation",
+		"Hot artefact reloads since boot.",
+		func() float64 { return float64(e.generation.Load()) })
+
 	r.CounterFunc("adsala_serve_warmup_decisions_total",
 		"Decisions attributed to cache warm-up passes.",
 		counterView(&e.warmPredictions))

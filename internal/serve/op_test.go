@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -213,7 +214,7 @@ func TestServerOpField(t *testing.T) {
 // clientDo posts through the client's transport (helper for raw batch
 // bodies the typed client API does not express).
 func clientDo(c *Client, path string, body, out any) error {
-	return c.do(http.MethodPost, path, body, out)
+	return c.do(context.Background(), http.MethodPost, path, body, out)
 }
 
 // TestClientMixedOpBatchRoundTrip drives a three-op interleaved batch

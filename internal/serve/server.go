@@ -1,14 +1,19 @@
 package serve
 
 import (
+	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/sampling"
@@ -32,6 +37,11 @@ type PredictResponse struct {
 	N       int    `json:"n"`
 	Op      string `json:"op"`
 	Threads int    `json:"threads"`
+	// Fallback is true when the decision came from the deterministic
+	// heuristic instead of a model — the degraded-mode tag of the
+	// resilience contract (artefact holds no model for the op, or the
+	// request deadline expired before ranking).
+	Fallback bool `json:"fallback,omitempty"`
 	// Candidates and PredictedMicros are present only when detail was
 	// requested: the ranked thread counts and their predicted runtimes.
 	Candidates      []int     `json:"candidates,omitempty"`
@@ -46,6 +56,10 @@ type BatchRequest struct {
 // BatchResponse is the JSON answer of /batch.
 type BatchResponse struct {
 	Threads []int `json:"threads"`
+	// Fallback, when present, aligns with Threads and marks the decisions
+	// answered by the deterministic heuristic instead of a model. Omitted
+	// when every decision came from the cache or a model.
+	Fallback []bool `json:"fallback,omitempty"`
 }
 
 // HealthResponse is the JSON answer of /healthz (and /livez). Status is
@@ -64,6 +78,10 @@ type HealthResponse struct {
 	// without opening the file.
 	FormatVersion int      `json:"format_version"`
 	Ops           []string `json:"ops"`
+	// Generation counts hot artefact reloads since boot (0 = still on the
+	// boot artefact), so an operator can confirm a reload took effect even
+	// when old and new artefacts share a format version.
+	Generation int64 `json:"artefact_generation"`
 }
 
 // endpointMetrics tracks request count and latency for one endpoint. The
@@ -148,6 +166,130 @@ type StatsResponse struct {
 // request bodies monopolising the worker pool).
 const MaxBatchShapes = 16384
 
+// Limits is the overload-protection configuration of a Server: bounded
+// in-flight admission with a short wait queue on the prediction endpoints,
+// plus a per-request deadline threaded into the engine. Probes, /stats and
+// /metrics are never limited — an overloaded daemon must stay observable.
+type Limits struct {
+	// MaxInFlight bounds concurrently admitted /predict + /batch requests.
+	// 0 selects the default (8×GOMAXPROCS); negative disables admission
+	// control entirely.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; arrivals
+	// beyond it shed immediately with 429. 0 selects the default
+	// (MaxInFlight); negative means no queue (shed as soon as full).
+	MaxQueue int
+	// QueueWait is how long a queued request waits for a slot before it
+	// sheds with 429 (default 50ms) — short on purpose: a deep slow queue
+	// is worse than a fast no.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request deadline threaded into the engine
+	// (default 2s; negative disables). A request that exhausts it mid-rank
+	// degrades to the heuristic answer instead of erroring.
+	RequestTimeout time.Duration
+}
+
+// withDefaults resolves the zero values.
+func (l Limits) withDefaults() Limits {
+	if l.MaxInFlight == 0 {
+		l.MaxInFlight = 8 * runtime.GOMAXPROCS(0)
+	}
+	if l.MaxQueue == 0 {
+		l.MaxQueue = l.MaxInFlight
+	}
+	if l.QueueWait <= 0 {
+		l.QueueWait = 50 * time.Millisecond
+	}
+	if l.RequestTimeout == 0 {
+		l.RequestTimeout = 2 * time.Second
+	}
+	return l
+}
+
+// limiter is the admission gate: a semaphore of in-flight slots plus a
+// counted short wait queue.
+type limiter struct {
+	sem      chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	wait     time.Duration
+}
+
+func newLimiter(l Limits) *limiter {
+	if l.MaxInFlight < 0 {
+		return nil
+	}
+	maxQueue := int64(l.MaxQueue)
+	if l.MaxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{
+		sem:      make(chan struct{}, l.MaxInFlight),
+		maxQueue: maxQueue,
+		wait:     l.QueueWait,
+	}
+}
+
+// acquire admits the request or reports shed. The wait queue is bounded by
+// count and by time, so admission never queues unboundedly: beyond
+// maxQueue waiters, or after QueueWait, the caller sheds.
+func (l *limiter) acquire(ctx context.Context) bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return false
+	}
+	defer l.queued.Add(-1)
+	t := time.NewTimer(l.wait)
+	defer t.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (l *limiter) release() { <-l.sem }
+
+// ReloadConfig wires hot artefact reload into a Server.
+type ReloadConfig struct {
+	// Load produces the replacement library (typically re-reading the
+	// artefact path the daemon booted from). Required.
+	Load func() (*core.Library, error)
+	// Token authenticates POST /admin/reload (Authorization: Bearer <token>
+	// or X-Adsala-Admin-Token). Empty leaves the endpoint unmounted —
+	// reloads then happen only through Server.Reload (the SIGHUP path).
+	Token string
+	// Warm, when non-nil, re-warms the engine after a swap. It runs in the
+	// background: readiness is never dropped for a reload.
+	Warm func(*Engine)
+	// Logf receives reload progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// ServerOption customises a Server at construction.
+type ServerOption func(*Server)
+
+// WithLimits sets the overload-protection limits (see Limits; the zero
+// value selects the defaults, which are also applied when the option is
+// omitted).
+func WithLimits(l Limits) ServerOption {
+	return func(s *Server) { s.limits = l }
+}
+
+// WithReload enables hot artefact reload (Server.Reload and, when a token
+// is set, POST /admin/reload).
+func WithReload(rc ReloadConfig) ServerOption {
+	return func(s *Server) { s.reload = &rc }
+}
+
 // Server is the HTTP front end of the serving subsystem. It satisfies
 // http.Handler; mount it directly or via an http.Server.
 type Server struct {
@@ -156,6 +298,18 @@ type Server struct {
 	reg     *obs.Registry
 	predict endpointMetrics
 	batch   endpointMetrics
+
+	// Overload protection: limits is resolved at construction; limit is
+	// nil when admission control is disabled.
+	limits Limits
+	limit  *limiter
+	shed   atomic.Int64 // requests answered 429
+	panics atomic.Int64 // handler panics recovered to 500
+
+	// Hot reload: nil when not configured. reloadMu serialises swaps so
+	// two concurrent reloads cannot interleave their load/swap pairs.
+	reload   *ReloadConfig
+	reloadMu sync.Mutex
 
 	// ready gates /healthz: NewServer starts ready (an engine implies a
 	// loaded artefact), the daemon flips it false while restoring
@@ -169,9 +323,16 @@ type Server struct {
 
 // NewServer returns an HTTP handler exposing the engine at /predict,
 // /batch, /stats, /healthz, /livez and /metrics. The server starts ready;
-// use SetReady to gate traffic around warm-up and drain.
-func NewServer(engine *Engine) *Server {
+// use SetReady to gate traffic around warm-up and drain. Overload
+// protection is on by default (see Limits); options adjust it, enable hot
+// reload, and so on.
+func NewServer(engine *Engine, opts ...ServerOption) *Server {
 	s := &Server{engine: engine, mux: http.NewServeMux(), reg: obs.NewRegistry()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.limits = s.limits.withDefaults()
+	s.limit = newLimiter(s.limits)
 	s.predict.latency = obs.NewHistogram(1e-9)
 	s.batch.latency = obs.NewHistogram(1e-9)
 	s.mux.HandleFunc("/predict", s.handlePredict)
@@ -180,6 +341,9 @@ func NewServer(engine *Engine) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/livez", s.handleLivez)
 	s.mux.Handle("/metrics", s.reg.Handler())
+	if s.reload != nil && s.reload.Token != "" {
+		s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
+	}
 
 	engine.RegisterMetrics(s.reg)
 	s.predict.register(s.reg, "predict")
@@ -195,6 +359,20 @@ func NewServer(engine *Engine) *Server {
 	s.reg.GaugeFunc("adsala_serve_artefact_format_version",
 		"On-disk format version of the loaded artefact.",
 		func() float64 { return float64(engine.Library().Format()) })
+	s.reg.CounterFunc("adsala_serve_shed_total",
+		"Requests shed with 429 by overload protection.",
+		func() float64 { return float64(s.shed.Load()) })
+	s.reg.CounterFunc("adsala_serve_panics_total",
+		"Handler panics recovered to a 500 answer.",
+		func() float64 { return float64(s.panics.Load()) })
+	if s.limit != nil {
+		s.reg.GaugeFunc("adsala_serve_inflight_requests",
+			"Prediction requests currently admitted.",
+			func() float64 { return float64(len(s.limit.sem)) })
+		s.reg.GaugeFunc("adsala_serve_queued_requests",
+			"Prediction requests waiting for an in-flight slot.",
+			func() float64 { return float64(s.limit.queued.Load()) })
+	}
 
 	// Ready by construction (the engine implies a loaded artefact), but
 	// deliberately not via SetReady: a daemon that immediately flips
@@ -235,8 +413,71 @@ func (s *Server) EnablePprof() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every route runs under the
+// panic-recovery middleware: a handler panic answers 500 JSON and advances
+// the panics counter instead of killing the daemon's connection goroutine
+// silently mid-response (net/http would otherwise log and drop it, and a
+// panic in shared state could cascade). http.ErrAbortHandler is re-raised —
+// it is net/http's sanctioned way to sever a connection.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.panics.Add(1)
+		// Best effort: if the handler already wrote headers this is a
+		// no-op on the status and appends to the body of a torn response
+		// the client will fail to decode — still strictly better than a
+		// silent hang-up.
+		writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// admit runs the overload gate for one prediction request: true means
+// proceed (the caller must defer s.release()). On shed it writes the 429
+// answer — JSON body plus a Retry-After header — and counts it.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.limit == nil {
+		return true
+	}
+	if s.limit.acquire(r.Context()) {
+		return true
+	}
+	s.shed.Add(1)
+	// Retry-After is whole seconds; round the queue wait up to 1s so a
+	// compliant client backs off for at least the shed horizon.
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, shedResponse{
+		Error:        "overloaded: in-flight limit reached",
+		RetryAfterMS: 1000,
+	})
+	return false
+}
+
+func (s *Server) release() {
+	if s.limit != nil {
+		s.limit.release()
+	}
+}
+
+// shedResponse is the 429 JSON body of a shed request.
+type shedResponse struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// requestCtx derives the per-request deadline context.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.limits.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.limits.RequestTimeout)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -300,6 +541,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
 	resp := PredictResponse{M: req.M, K: req.K, N: req.N, Op: op.String()}
 	if r.URL.Query().Get("detail") == "1" {
 		scores, best := s.engine.RankOp(op, req.M, req.K, req.N)
@@ -310,7 +558,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			resp.PredictedMicros[i] = sec * 1e6
 		}
 	} else {
-		resp.Threads = s.engine.PredictOp(op, req.M, req.K, req.N)
+		resp.Threads, resp.Fallback = s.engine.PredictOpCtx(ctx, op, req.M, req.K, req.N)
 	}
 	failed = false
 	writeJSON(w, http.StatusOK, resp)
@@ -338,6 +586,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch of %d shapes exceeds limit %d", len(req.Shapes), MaxBatchShapes)
 		return
 	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	// Mixed-op batches are split into one engine batch per registered
 	// operation (the dedup and worker fan-out happen per op); slots maps
 	// each sub-batch entry back to its request index. The split is sized by
@@ -358,16 +612,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		slots[op] = append(slots[op], i)
 	}
 	threads := make([]int, len(req.Shapes))
+	var fallback []bool
 	for op, batch := range shapes {
 		if len(batch) == 0 {
 			continue
 		}
-		for j, t := range s.engine.PredictBatchOp(Op(op), batch, nil) {
+		vals, fbs := s.engine.PredictBatchOpCtx(ctx, Op(op), batch, nil)
+		for j, t := range vals {
 			threads[slots[op][j]] = t
+			if fbs != nil && fbs[j] {
+				if fallback == nil {
+					fallback = make([]bool, len(req.Shapes))
+				}
+				fallback[slots[op][j]] = true
+			}
 		}
 	}
 	failed = false
-	writeJSON(w, http.StatusOK, BatchResponse{Threads: threads})
+	writeJSON(w, http.StatusOK, BatchResponse{Threads: threads, Fallback: fallback})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -410,7 +672,75 @@ func (s *Server) healthBody(ready bool) HealthResponse {
 		Model:         lib.ModelKind(),
 		FormatVersion: lib.Format(),
 		Ops:           names,
+		Generation:    s.engine.Generation(),
 	}
+}
+
+// Reload swaps the served artefact through the configured ReloadConfig:
+// load the replacement library, swap it into the engine atomically (the
+// decision cache resets), and kick the background re-warm. Readiness is
+// never dropped — requests keep answering against the old artefact until
+// the swap lands and against the new one after, with cache misses ranked
+// fresh while the warm pass refills. Serialised: concurrent reloads apply
+// one at a time. Returns the post-swap health body (the /admin/reload
+// answer and what SIGHUP handlers log).
+func (s *Server) Reload() (HealthResponse, error) {
+	if s.reload == nil || s.reload.Load == nil {
+		return HealthResponse{}, fmt.Errorf("serve: reload is not configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	logf := s.reload.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	lib, err := s.reload.Load()
+	if err != nil {
+		// The old artefact keeps serving — a failed load must not degrade
+		// a healthy daemon.
+		logf("reload failed (still serving generation %d): %v", s.engine.Generation(), err)
+		return HealthResponse{}, err
+	}
+	s.engine.SwapLibrary(lib)
+	logf("reloaded artefact: generation %d, format v%d, platform %s",
+		s.engine.Generation(), lib.Format(), lib.Platform)
+	if s.reload.Warm != nil {
+		go s.reload.Warm(s.engine)
+	}
+	return s.healthBody(s.ready.Load()), nil
+}
+
+// authorizedReload checks the reload token (Authorization: Bearer <token>
+// or X-Adsala-Admin-Token) in constant time.
+func (s *Server) authorizedReload(r *http.Request) bool {
+	token := s.reload.Token
+	got := r.Header.Get("X-Adsala-Admin-Token")
+	if got == "" {
+		const prefix = "Bearer "
+		if auth := r.Header.Get("Authorization"); len(auth) > len(prefix) && auth[:len(prefix)] == prefix {
+			got = auth[len(prefix):]
+		}
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1
+}
+
+// handleAdminReload is POST /admin/reload: authenticated hot artefact
+// swap. Mounted only when a ReloadConfig with a token was supplied.
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if !s.authorizedReload(r) {
+		writeError(w, http.StatusUnauthorized, "missing or invalid reload token")
+		return
+	}
+	body, err := s.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleHealthz is the readiness probe: 200 only when the daemon should
