@@ -25,6 +25,7 @@
 package adsala
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -93,6 +94,11 @@ type TrainOptions struct {
 	// default of log.Printf with a "gather: " prefix; adsala-train wires
 	// its -log-level logger here so verbosity is controlled in one place.
 	Logf func(format string, args ...any)
+	// Context bounds the installation: cancelling it abandons the timing
+	// gather between units (adsala-train wires SIGINT here, so Ctrl-C on a
+	// distributed sweep stops dispatch cleanly and the checkpoint keeps
+	// what was merged). Nil means no externally-imposed bound.
+	Context context.Context
 }
 
 // Report is the model-comparison outcome of installation (Tables III/IV):
@@ -257,6 +263,7 @@ func buildConfig(opts TrainOptions) (core.TrainConfig, error) {
 			Logf:       logf,
 		})
 	}
+	cfg.Context = opts.Context
 	return cfg, nil
 }
 

@@ -25,11 +25,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	adsala "repro"
 	"repro/internal/logx"
@@ -78,7 +81,13 @@ func main() {
 	if *ckpt != "" && len(workerList) == 0 {
 		log.Fatal("-checkpoint requires -workers (the single-node gather is not checkpointed)")
 	}
+	// Ctrl-C / SIGTERM cancels the timing gather between units instead of
+	// killing the process mid-write: a checkpointed distributed sweep keeps
+	// everything merged so far and resumes on the next run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	lib, report, err := adsala.Train(adsala.TrainOptions{
+		Context:    ctx,
 		Platform:   *platform,
 		CapMB:      *capMB,
 		Shapes:     *shapes,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -62,7 +63,7 @@ func TestRunServesSweep(t *testing.T) {
 	)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		got, err = coord.Gather(gcfg)
+		got, err = coord.Gather(context.Background(), gcfg)
 		if err == nil || time.Now().After(deadline) {
 			break
 		}

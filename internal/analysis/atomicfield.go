@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity per struct field: a field
+// that is passed to sync/atomic anywhere in a package must be accessed
+// through sync/atomic at every site in that package. Mixed atomic/plain
+// access is exactly the torn-read class of bug fixed in serve.Stats —
+// a plain load can observe a half-updated value and a plain store can lose
+// a concurrent atomic update. Fields of the atomic.Int64-style wrapper
+// types are immune by construction (every access is a method call) and
+// are the recommended fix.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic must be accessed atomically at every site",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: find fields whose address is taken for a sync/atomic call,
+	// remembering one atomic site per field for the diagnostic, plus every
+	// selector node that is itself part of an atomic access (allowed).
+	atomicFields := make(map[*types.Var]token.Pos)
+	allowed := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicOp(fn.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				sel := addrOfField(pass.Info, arg)
+				if sel == nil {
+					continue
+				}
+				field := fieldOf(pass.Info, sel)
+				if field == nil {
+					continue
+				}
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = call.Pos()
+				}
+				allowed[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields is a torn-read hazard.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || allowed[sel] {
+				return true
+			}
+			field := fieldOf(pass.Info, sel)
+			if field == nil {
+				return true
+			}
+			atomicPos, isAtomic := atomicFields[field]
+			if !isAtomic {
+				return true
+			}
+			p := pass.Fset.Position(atomicPos)
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed atomically (e.g. at %s:%d) but plainly here — mixed access tears; use sync/atomic or an atomic.%s-typed field",
+				field.Name(), p.Filename, p.Line, atomicTypeFor(field.Type()))
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicOp reports whether name is a sync/atomic operation that takes
+// the address of its operand (the APIs that define a field as atomic).
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addrOfField unwraps &x.f (possibly parenthesized) to the selector.
+func addrOfField(info *types.Info, e ast.Expr) *ast.SelectorExpr {
+	u, ok := unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, _ := unparen(u.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil when
+// the selector is not a field access.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// atomicTypeFor suggests the sync/atomic wrapper type for a raw field
+// type ("Int64" for int64, and so on; "Value" as the catch-all).
+func atomicTypeFor(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return "Pointer"
+		}
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

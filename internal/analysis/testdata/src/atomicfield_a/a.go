@@ -1,0 +1,36 @@
+// Package atomicfield_a exercises the atomicfield analyzer: mixed
+// atomic/plain access to the same field is the torn-read bug class.
+package atomicfield_a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	clean  int64
+}
+
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) snapshot() (int64, int64) {
+	h := atomic.LoadInt64(&c.hits)
+	m := c.misses // want `field misses is accessed atomically .* but plainly here`
+	return h, m
+}
+
+func (c *counters) reset() {
+	c.misses = 0 // want `field misses is accessed atomically`
+}
+
+// touch only ever accesses clean plainly — no atomic site anywhere, so no
+// finding (the negative case).
+func (c *counters) touch() { c.clean++ }
+
+// zero runs before any goroutine can see c; the plain write is justified
+// and suppressed.
+func (c *counters) zero() {
+	c.hits = 0 //adsala:ignore atomicfield test fixture: runs before concurrency starts
+}

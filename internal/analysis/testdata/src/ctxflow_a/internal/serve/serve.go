@@ -1,0 +1,96 @@
+// Package serve sits under a restricted path suffix (internal/serve):
+// minting a fresh context here is forbidden, and the request/response
+// hygiene checks apply in full.
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+func fresh() context.Context {
+	return context.Background() // want `context.Background\(\) in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) in library code`
+}
+
+// detached carries a justified suppression, like the project's compat
+// wrappers do.
+func detached() context.Context {
+	return context.Background() //adsala:ignore ctxflow test fixture: wrapper intentionally detaches
+}
+
+func oldRequest() (*http.Request, error) {
+	return http.NewRequest("GET", "http://example.com", nil) // want `http.NewRequest drops the caller's context`
+}
+
+// mustReq threads the caller's context — the negative constructor case.
+func mustReq(ctx context.Context) *http.Request {
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://example.com", nil)
+	return req
+}
+
+func Fetch(c *http.Client) error { // want `exported Fetch performs HTTP I/O \(http.Client.Get\) but takes no context.Context`
+	resp, err := c.Get("http://example.com")
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+// FetchCtx takes a context and drains before closing — fully clean.
+func FetchCtx(ctx context.Context, c *http.Client) error {
+	resp, err := c.Do(mustReq(ctx))
+	if err != nil {
+		return err
+	}
+	_, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+func leaky(ctx context.Context, c *http.Client) error {
+	resp, err := c.Do(mustReq(ctx)) // want `response body of resp is never closed`
+	if err != nil {
+		return err
+	}
+	_ = resp.StatusCode
+	return nil
+}
+
+func undrained(ctx context.Context, c *http.Client) error {
+	resp, err := c.Do(mustReq(ctx)) // want `response body of resp is closed but never drained`
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+// wrappedDrain consumes the body through io.LimitReader — still recognized
+// as a drain because io.Copy(io.Discard, ...) encloses it.
+func wrappedDrain(ctx context.Context, c *http.Client) error {
+	resp, err := c.Do(mustReq(ctx))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return nil
+}
+
+// escapes returns the response: closing becomes the caller's job, so no
+// finding here.
+func escapes(ctx context.Context, c *http.Client) (*http.Response, error) {
+	return respOf(c, mustReq(ctx))
+}
+
+func respOf(c *http.Client, req *http.Request) (*http.Response, error) {
+	resp, err := c.Do(req)
+	return resp, err
+}

@@ -1,0 +1,18 @@
+// Package ctxflow_b is NOT under a restricted path suffix: minting a
+// context is allowed here (the negative case for rule 1), but constructor
+// and exported-function hygiene still apply everywhere.
+package ctxflow_b
+
+import (
+	"context"
+	"net/http"
+)
+
+// Fresh mints a context outside the restricted packages — no finding.
+func Fresh() context.Context {
+	return context.Background()
+}
+
+func oldRequest() (*http.Request, error) {
+	return http.NewRequest("GET", "http://example.com", nil) // want `http.NewRequest drops the caller's context`
+}

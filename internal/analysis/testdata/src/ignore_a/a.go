@@ -1,0 +1,10 @@
+// Package ignore_a holds a deliberately malformed suppression: the reason
+// is mandatory, so the bare directive is itself reported — and it
+// suppresses nothing, so the allocation it sits on is still found.
+package ignore_a
+
+//adsala:zeroalloc
+func alloc(n int) []int {
+	//adsala:ignore zeroalloc
+	return make([]int, n)
+}

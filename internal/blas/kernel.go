@@ -30,6 +30,8 @@ func supportedTile(mr, nr int) bool {
 // macroKernel multiplies the packed mc×kc A block with the packed kc×nc B
 // panel, updating C(ic:ic+mc, jc:jc+nc). first selects whether beta is
 // applied (only on the first KC iteration).
+//
+//adsala:zeroalloc
 func macroKernel[T float32 | float64](alpha T, packedA, packedB []T, beta T, c view[T], ic, jc, mc, nc, kc int, first bool, prm Params) {
 	mr, nr := prm.MR, prm.NR
 	var acc [maxTile]T
@@ -57,6 +59,8 @@ func macroKernel[T float32 | float64](alpha T, packedA, packedB []T, beta T, c v
 // and the per-step slice expressions collapse the bounds checks to one per
 // operand per step. The per-accumulator addition order is identical to the
 // rolled loop (ascending p), so results are bit-identical to it.
+//
+//adsala:zeroalloc
 func micro4x4[T float32 | float64](aPanel, bPanel []T, kc int, acc *[maxTile]T) {
 	var c00, c01, c02, c03 T
 	var c10, c11, c12, c13 T
@@ -176,6 +180,8 @@ func micro4x4[T float32 | float64](aPanel, bPanel []T, kc int, acc *[maxTile]T) 
 }
 
 // micro8x4 computes one 8×4 tile (row-major acc layout, stride 4).
+//
+//adsala:zeroalloc
 func micro8x4[T float32 | float64](aPanel, bPanel []T, kc int, acc *[maxTile]T) {
 	var c00, c01, c02, c03 T
 	var c10, c11, c12, c13 T
@@ -237,6 +243,8 @@ func micro8x4[T float32 | float64](aPanel, bPanel []T, kc int, acc *[maxTile]T) 
 }
 
 // micro4x8 computes one 4×8 tile (row-major acc layout, stride 8).
+//
+//adsala:zeroalloc
 func micro4x8[T float32 | float64](aPanel, bPanel []T, kc int, acc *[maxTile]T) {
 	var c00, c01, c02, c03, c04, c05, c06, c07 T
 	var c10, c11, c12, c13, c14, c15, c16, c17 T

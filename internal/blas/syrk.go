@@ -258,6 +258,8 @@ func syrkBlockRange(n, jc, nc int, prm Params, w, parts int) (blo, bhi int) {
 // ordinary storeTile; diagonal-straddling tiles compute the full MR×NR tile
 // (the above-diagonal lanes are wasted FLOPs bounded by one tile per
 // diagonal row) and mask the store to j ≤ i.
+//
+//adsala:zeroalloc
 func syrkMacroKernel[T float32 | float64](alpha T, packedA, packedB []T, beta T, c view[T], ic, jc, mc, ncb, kc int, first bool, prm Params) {
 	mr, nr := prm.MR, prm.NR
 	var acc [maxTile]T

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -104,14 +105,26 @@ type meanTimer interface {
 // merged distributed sweep is defined to be identical to the local one for a
 // deterministic timer, so the choice never changes what gets trained.
 type Gatherer interface {
-	Gather(cfg GatherConfig) ([]ShapeTimings, error)
+	// Gather runs one op's sweep under the caller's context: cancelling
+	// ctx abandons the sweep (a distributed gather stops dispatching and
+	// in-flight units are released to their workers' drain handling).
+	Gather(ctx context.Context, cfg GatherConfig) ([]ShapeTimings, error)
 }
 
-// LocalGatherer is the in-process Gatherer: the plain Gather call.
+// LocalGatherer is the in-process Gatherer: the plain Gather call. The
+// context is consulted between measurements only — a single kernel timing
+// is not interruptible.
 type LocalGatherer struct{}
 
 // Gather implements Gatherer by running the sweep on cfg.Timer locally.
-func (LocalGatherer) Gather(cfg GatherConfig) ([]ShapeTimings, error) { return Gather(cfg) }
+func (LocalGatherer) Gather(ctx context.Context, cfg GatherConfig) ([]ShapeTimings, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return Gather(cfg)
+}
 
 // Gather samples NumShapes quasi-random shapes and times each at every
 // candidate thread count with the configured operation's kernel.
@@ -250,6 +263,7 @@ type OpModel struct {
 
 // featureIndices resolves Columns into indices of features.Columns().
 func (m *OpModel) featureIndices() []int {
+	//adsala:ignore zeroalloc Once.Do inlines its fast path so the literal never escapes; pinned by TestRankOpIntoZeroAlloc
 	m.colOnce.Do(func() {
 		if len(m.Columns) == 0 {
 			return
@@ -408,6 +422,8 @@ func (l *Library) NewScratch() *Scratch {
 // receives the predicted wall time in seconds for each candidate (target
 // untransformed). The library itself is read-only here, so concurrent calls
 // with distinct scratches are safe.
+//
+//adsala:zeroalloc
 func (l *Library) RankOpInto(op ops.Op, m, k, n int, s *Scratch, scores []float64) int {
 	mod := l.ModelFor(op)
 	idx := mod.featureIndices()
@@ -435,6 +451,8 @@ func (l *Library) RankOpInto(op ops.Op, m, k, n int, s *Scratch, scores []float6
 }
 
 // RankInto is RankOpInto for the primary GEMM model.
+//
+//adsala:zeroalloc
 func (l *Library) RankInto(m, k, n int, s *Scratch, scores []float64) int {
 	return l.RankOpInto(ops.GEMM, m, k, n, s, scores)
 }

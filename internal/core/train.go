@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,6 +42,10 @@ type TrainConfig struct {
 	// (the in-process single-node sweep); a gather.Coordinator shards the
 	// same sweep across a worker fleet.
 	Gatherer Gatherer
+	// Context bounds the installation: cancelling it abandons the gather
+	// between units (adsala-train wires SIGINT here so a distributed sweep
+	// shuts its fleet dispatch down cleanly). Nil means Background.
+	Context context.Context
 }
 
 // DefaultTrainConfig assembles the paper's settings around a gather config.
@@ -121,10 +126,14 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 	if gatherer == nil {
 		gatherer = LocalGatherer{}
 	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, op := range trainOps(cfg) {
 		g := cfg.Gather
 		g.Op = op
-		data, err := gatherer.Gather(g)
+		data, err := gatherer.Gather(ctx, g)
 		if err != nil {
 			return nil, fmt.Errorf("core: gather %v: %w", op, err)
 		}

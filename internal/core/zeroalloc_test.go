@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ops"
+)
+
+// TestRankOpIntoZeroAlloc pins the //adsala:zeroalloc contract on the
+// ranking hot path: with a caller-owned Scratch and scores slice, a full
+// candidate ranking allocates nothing — including the lazy column-index
+// resolution inside featureIndices (Once.Do's fast path keeps its closure
+// on the stack; see the //adsala:ignore there).
+func TestRankOpIntoZeroAlloc(t *testing.T) {
+	res := quickTrain(t, 40)
+	lib := res.Library
+	s := lib.NewScratch()
+	scores := make([]float64, len(lib.Candidates))
+	if n := testing.AllocsPerRun(200, func() {
+		lib.RankOpInto(ops.GEMM, 512, 256, 384, s, scores)
+	}); n != 0 {
+		t.Errorf("RankOpInto allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		lib.RankInto(512, 256, 384, s, nil)
+	}); n != 0 {
+		t.Errorf("RankInto allocates %.1f/op, want 0", n)
+	}
+}

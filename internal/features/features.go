@@ -38,6 +38,8 @@ func Row(m, k, n, threads int) []float64 {
 }
 
 // RowInto is Row without allocation; dst must have len(Columns()).
+//
+//adsala:zeroalloc
 func RowInto(m, k, n, threads int, dst []float64) {
 	fm, fk, fn := float64(m), float64(k), float64(n)
 	t := float64(threads)

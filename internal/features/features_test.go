@@ -94,3 +94,14 @@ func TestRowConsistencyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRowIntoZeroAlloc pins the //adsala:zeroalloc contract: filling a
+// caller-owned row allocates nothing.
+func TestRowIntoZeroAlloc(t *testing.T) {
+	dst := make([]float64, len(Columns()))
+	if n := testing.AllocsPerRun(1000, func() {
+		RowInto(512, 256, 384, 16, dst)
+	}); n != 0 {
+		t.Errorf("RowInto allocates %.1f/op, want 0", n)
+	}
+}

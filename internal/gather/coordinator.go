@@ -192,8 +192,10 @@ func (r *run) fail(err error) {
 // Gather implements core.Gatherer: it shards cfg's sweep over the worker
 // fleet and returns the merged timings in sample order. cfg.Timer is
 // ignored — the workers build their backend from the coordinator's wire
-// Spec instead.
-func (c *Coordinator) Gather(gcfg core.GatherConfig) ([]core.ShapeTimings, error) {
+// Spec instead. Cancelling ctx stops dispatch and fails the sweep; the
+// checkpoint keeps everything merged so far, so a cancelled gather
+// resumes where it stopped.
+func (c *Coordinator) Gather(ctx context.Context, gcfg core.GatherConfig) ([]core.ShapeTimings, error) {
 	if len(c.cfg.Workers) == 0 {
 		return nil, fmt.Errorf("gather: no workers configured")
 	}
@@ -265,7 +267,7 @@ func (c *Coordinator) Gather(gcfg core.GatherConfig) ([]core.ShapeTimings, error
 		return assemble(units, completed, gcfg.NumShapes)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	// Register the fleet; workers that refuse or cannot be reached (after
@@ -527,7 +529,7 @@ func (c *Coordinator) getResult(ctx context.Context, url string) (res *UnitResul
 		c.cfg.Logf("poll %s: %v (retrying until the unit deadline)", url, err)
 		return nil, true, nil
 	}
-	defer resp.Body.Close()
+	defer drainAndClose(resp)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		res = &UnitResult{}
@@ -566,7 +568,7 @@ func (c *Coordinator) postJSON(ctx context.Context, url string, body, out any) e
 		if err != nil {
 			return err
 		}
-		defer resp.Body.Close()
+		defer drainAndClose(resp)
 		if resp.StatusCode < 200 || resp.StatusCode > 299 {
 			err := httpError(resp)
 			if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
@@ -582,6 +584,15 @@ func (c *Coordinator) postJSON(ctx context.Context, url string, body, out any) e
 		}
 		return nil
 	})
+}
+
+// drainAndClose consumes a bounded remainder of the response body before
+// closing it, so the keep-alive connection returns to the pool instead of
+// being torn down — with per-unit polling against every worker, leaked
+// connections would otherwise accumulate for the whole sweep.
+func drainAndClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
 }
 
 // httpError converts a non-success response into an error carrying the

@@ -79,7 +79,7 @@ func TestDistributedMatchesSingleNode(t *testing.T) {
 			_, s1 := startWorker(t, WorkerOptions{Name: "w1"})
 			_, s2 := startWorker(t, WorkerOptions{Name: "w2"})
 			coord := New(fastCoordinator([]string{s1.URL, s2.URL}, spec))
-			got, err := coord.Gather(gcfg)
+			got, err := coord.Gather(context.Background(), gcfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -182,7 +182,7 @@ func TestKilledWorkerMidUnit(t *testing.T) {
 	// keep it short: the dead victim's in-flight unit must requeue fast.
 	cfg.UnitTimeout = 700 * time.Millisecond
 	coord := New(cfg)
-	got, err := coord.Gather(gcfg)
+	got, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestSlowWorkerReassigned(t *testing.T) {
 	cfg.UnitTimeout = 50 * time.Millisecond
 	cfg.WorkerFailureLimit = 1 // first timeout retires the slow worker
 	coord := New(cfg)
-	got, err := coord.Gather(gcfg)
+	got, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestDuplicateResultRejected(t *testing.T) {
 	cfg := fastCoordinator([]string{byzSrv.URL, honest.URL}, spec)
 	cfg.WorkerFailureLimit = 2
 	coord := New(cfg)
-	got, err := coord.Gather(gcfg)
+	got, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestCheckpointResume(t *testing.T) {
 	cfg.WorkerFailureLimit = 2
 	cfg.MaxUnitRetries = 2
 	coord1 := New(cfg)
-	if _, err := coord1.Gather(gcfg); err == nil {
+	if _, err := coord1.Gather(context.Background(), gcfg); err == nil {
 		t.Fatal("interrupted sweep should error")
 	}
 	// Stats are recorded for failed runs too — they are the diagnostic.
@@ -391,7 +391,7 @@ func TestCheckpointResume(t *testing.T) {
 	cfg2 := fastCoordinator([]string{healthySrv.URL}, spec)
 	cfg2.Checkpoint = ckpt
 	coord := New(cfg2)
-	got, err := coord.Gather(gcfg)
+	got, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func TestCheckpointResume(t *testing.T) {
 	cfg3.Checkpoint = ckpt
 	cfg3.HTTP = &http.Client{Timeout: 200 * time.Millisecond}
 	coord3 := New(cfg3)
-	got3, err := coord3.Gather(gcfg)
+	got3, err := coord3.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +464,7 @@ func TestTransientPollBlipDoesNotDiscardUnit(t *testing.T) {
 	cfg := fastCoordinator([]string{srv.URL}, spec)
 	cfg.WorkerFailureLimit = 1 // a single counted failure would retire the only worker
 	coord := New(cfg)
-	got, err := coord.Gather(gcfg)
+	got, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,11 +484,11 @@ func TestCheckpointRejectsForeignSweep(t *testing.T) {
 	_, srv := startWorker(t, WorkerOptions{Name: "w"})
 	cfg := fastCoordinator([]string{srv.URL}, spec)
 	cfg.Checkpoint = ckpt
-	if _, err := New(cfg).Gather(gcfg); err != nil {
+	if _, err := New(cfg).Gather(context.Background(), gcfg); err != nil {
 		t.Fatal(err)
 	}
 	gcfg.Seed = 99 // different sweep, same checkpoint path
-	if _, err := New(cfg).Gather(gcfg); err == nil || !strings.Contains(err.Error(), "different sweep") {
+	if _, err := New(cfg).Gather(context.Background(), gcfg); err == nil || !strings.Contains(err.Error(), "different sweep") {
 		t.Fatalf("foreign checkpoint accepted: %v", err)
 	}
 }
@@ -505,7 +505,7 @@ func TestCheckpointToleratesPartialLine(t *testing.T) {
 	_, srv := startWorker(t, WorkerOptions{Name: "w"})
 	cfg := fastCoordinator([]string{srv.URL}, spec)
 	cfg.Checkpoint = ckpt
-	if _, err := New(cfg).Gather(gcfg); err != nil {
+	if _, err := New(cfg).Gather(context.Background(), gcfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -525,7 +525,7 @@ func TestCheckpointToleratesPartialLine(t *testing.T) {
 	cfg2 := fastCoordinator([]string{srv2.URL}, spec)
 	cfg2.Checkpoint = ckpt
 	coord := New(cfg2)
-	got, err := coord.Gather(gcfg)
+	got, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -543,7 +543,7 @@ func TestCheckpointToleratesPartialLine(t *testing.T) {
 	cfg3.Checkpoint = ckpt
 	cfg3.HTTP = &http.Client{Timeout: 200 * time.Millisecond}
 	coord3 := New(cfg3)
-	got3, err := coord3.Gather(gcfg)
+	got3, err := coord3.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatalf("checkpoint corrupted by the truncated-line resume: %v", err)
 	}
@@ -568,7 +568,7 @@ func TestConcurrentMerge(t *testing.T) {
 	cfg := fastCoordinator(urls, spec)
 	cfg.UnitShapes = 1
 	coord := New(cfg)
-	got, err := coord.Gather(gcfg)
+	got, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -734,11 +734,11 @@ func TestRepeatedGatherReexecutes(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	coord := New(fastCoordinator([]string{srv.URL}, spec))
-	got1, err := coord.Gather(gcfg)
+	got1, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got2, err := coord.Gather(gcfg)
+	got2, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -804,13 +804,13 @@ func TestWorkerUnfetchedTracking(t *testing.T) {
 // TestCoordinatorNoWorkers errors out early instead of hanging.
 func TestCoordinatorNoWorkers(t *testing.T) {
 	gcfg, spec := testGatherConfig(t, ops.GEMM, 6)
-	if _, err := New(Config{Timer: spec}).Gather(gcfg); err == nil {
+	if _, err := New(Config{Timer: spec}).Gather(context.Background(), gcfg); err == nil {
 		t.Error("no workers should error")
 	}
 	// All workers unreachable.
 	cfg := fastCoordinator([]string{"127.0.0.1:1"}, spec)
 	cfg.HTTP = &http.Client{Timeout: 200 * time.Millisecond}
-	if _, err := New(cfg).Gather(gcfg); err == nil {
+	if _, err := New(cfg).Gather(context.Background(), gcfg); err == nil {
 		t.Error("unreachable workers should error")
 	}
 }

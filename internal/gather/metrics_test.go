@@ -101,7 +101,7 @@ func TestGatherMetricsEndToEnd(t *testing.T) {
 	cfg.Metrics = reg
 	cfg.Checkpoint = filepath.Join(t.TempDir(), "gather.ckpt")
 	coord := New(cfg)
-	if _, err := coord.Gather(gcfg); err != nil {
+	if _, err := coord.Gather(context.Background(), gcfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -141,7 +141,7 @@ func TestGatherMetricsEndToEnd(t *testing.T) {
 	gcfg2, _ := testGatherConfig(t, ops.SYRK, 6)
 	cfg2 := cfg
 	cfg2.Checkpoint = filepath.Join(t.TempDir(), "gather2.ckpt")
-	if _, err := New(cfg2).Gather(gcfg2); err != nil {
+	if _, err := New(cfg2).Gather(context.Background(), gcfg2); err != nil {
 		t.Fatal(err)
 	}
 	b.Reset()

@@ -130,7 +130,7 @@ func TestChaosGatherMatchesSingleNode(t *testing.T) {
 	cfg.Logf = func(string, ...any) {} // chaos is noisy by design
 
 	coord := New(cfg)
-	got, err := coord.Gather(gcfg)
+	got, err := coord.Gather(context.Background(), gcfg)
 	if err != nil {
 		t.Fatalf("gather under chaos: %v", err)
 	}

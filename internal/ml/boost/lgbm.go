@@ -114,7 +114,17 @@ func (l *LGBM) Fit(X [][]float64, y []float64) error {
 // Predict implements ml.Regressor, binning the input on the fly.
 func (l *LGBM) Predict(v []float64) float64 {
 	p := l.Params.withDefaults()
-	bins := make([]uint16, len(v))
+	// Predict sits on the serving hot path (one call per ranked candidate).
+	// Feature rows are narrow — Table II has 17 columns — so a stack-backed
+	// array keeps the bin buffer off the heap; the make fallback only fires
+	// for rows wider than anything the project produces.
+	var binsArr [32]uint16
+	var bins []uint16
+	if len(v) <= len(binsArr) {
+		bins = binsArr[:len(v)]
+	} else {
+		bins = make([]uint16, len(v))
+	}
 	for f := range v {
 		bins[f] = uint16(binOf(l.BinEdges[f], v[f]))
 	}

@@ -223,7 +223,16 @@ func (a *AdaBoostR2) Fit(X [][]float64, y []float64) error {
 // of AdaBoost.R2 (weights ln(1/β)).
 func (a *AdaBoostR2) Predict(x []float64) float64 {
 	type pw struct{ pred, w float64 }
-	ps := make([]pw, len(a.Trees))
+	// Predict can sit on the serving hot path; the default ensemble (50
+	// stages) fits in a stack-backed array, so the make fallback only fires
+	// for unusually large tuning configurations.
+	var psArr [64]pw
+	var ps []pw
+	if len(a.Trees) <= len(psArr) {
+		ps = psArr[:len(a.Trees)]
+	} else {
+		ps = make([]pw, len(a.Trees))
+	}
 	var totW float64
 	for i, t := range a.Trees {
 		wi := math.Log(1 / a.Betas[i])

@@ -75,6 +75,8 @@ func bucketUpper(i int) int64 {
 
 // Observe records one value. Negative values clamp to zero. Safe for
 // concurrent use; allocates nothing.
+//
+//adsala:zeroalloc
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0

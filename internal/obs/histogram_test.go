@@ -113,6 +113,12 @@ func TestObserveZeroAlloc(t *testing.T) {
 	if n := testing.AllocsPerRun(1000, func() { g.Add(0.5) }); n != 0 {
 		t.Errorf("Gauge.Add allocates %.1f/op, want 0", n)
 	}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f/op, want 0", n)
+	}
 }
 
 // TestHistogramConcurrent hammers Observe/Merge/Quantile from many

@@ -41,9 +41,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//adsala:zeroalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (negative n is ignored: counters are monotone).
+//
+//adsala:zeroalloc
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -60,9 +64,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//adsala:zeroalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
 
 // Add adds d with a CAS loop (no allocation).
+//
+//adsala:zeroalloc
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()

@@ -155,7 +155,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, blob []byte, 
 
 // Predict asks the server for the optimal thread count of one GEMM shape.
 func (c *Client) Predict(m, k, n int) (int, error) {
-	return c.PredictCtx(context.Background(), m, k, n)
+	return c.PredictCtx(context.Background(), m, k, n) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // PredictCtx is Predict bounded by the caller's context.
@@ -166,7 +166,7 @@ func (c *Client) PredictCtx(ctx context.Context, m, k, n int) (int, error) {
 // PredictOp asks the server for the optimal thread count of one shape under
 // an explicit operation kind (SYRK shapes pass the (n, k, n) triple).
 func (c *Client) PredictOp(op Op, m, k, n int) (int, error) {
-	return c.PredictOpCtx(context.Background(), op, m, k, n)
+	return c.PredictOpCtx(context.Background(), op, m, k, n) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // PredictOpCtx is PredictOp bounded by the caller's context.
@@ -180,12 +180,12 @@ func (c *Client) PredictOpCtx(ctx context.Context, op Op, m, k, n int) (int, err
 
 // PredictDetail returns the full candidate ranking for one GEMM shape.
 func (c *Client) PredictDetail(m, k, n int) (PredictResponse, error) {
-	return c.PredictDetailOpCtx(context.Background(), OpGEMM, m, k, n)
+	return c.PredictDetailOpCtx(context.Background(), OpGEMM, m, k, n) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // PredictDetailOp is PredictDetail under an explicit operation kind.
 func (c *Client) PredictDetailOp(op Op, m, k, n int) (PredictResponse, error) {
-	return c.PredictDetailOpCtx(context.Background(), op, m, k, n)
+	return c.PredictDetailOpCtx(context.Background(), op, m, k, n) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // PredictDetailOpCtx is PredictDetailOp bounded by the caller's context.
@@ -198,7 +198,7 @@ func (c *Client) PredictDetailOpCtx(ctx context.Context, op Op, m, k, n int) (Pr
 // PredictBatch asks the server for the optimal thread counts of many GEMM
 // shapes in one round trip.
 func (c *Client) PredictBatch(shapes []sampling.Shape) ([]int, error) {
-	return c.PredictBatchCtx(context.Background(), shapes)
+	return c.PredictBatchCtx(context.Background(), shapes) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // PredictBatchCtx is PredictBatch bounded by the caller's context.
@@ -208,7 +208,7 @@ func (c *Client) PredictBatchCtx(ctx context.Context, shapes []sampling.Shape) (
 
 // PredictBatchOp is PredictBatch under an explicit operation kind.
 func (c *Client) PredictBatchOp(op Op, shapes []sampling.Shape) ([]int, error) {
-	return c.PredictBatchOpCtx(context.Background(), op, shapes)
+	return c.PredictBatchOpCtx(context.Background(), op, shapes) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // PredictBatchOpCtx is PredictBatchOp bounded by the caller's context.
@@ -225,7 +225,7 @@ func (c *Client) PredictBatchOpCtx(ctx context.Context, op Op, shapes []sampling
 // request order — the server splits per op and maps every decision back to
 // its slot.
 func (c *Client) PredictBatchRequests(reqs []PredictRequest) ([]int, error) {
-	return c.PredictBatchRequestsCtx(context.Background(), reqs)
+	return c.PredictBatchRequestsCtx(context.Background(), reqs) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // PredictBatchRequestsCtx is PredictBatchRequests bounded by the caller's
@@ -243,7 +243,7 @@ func (c *Client) PredictBatchRequestsCtx(ctx context.Context, reqs []PredictRequ
 
 // Stats fetches the server's engine and HTTP metrics.
 func (c *Client) Stats() (StatsResponse, error) {
-	return c.StatsCtx(context.Background())
+	return c.StatsCtx(context.Background()) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // StatsCtx is Stats bounded by the caller's context.
@@ -255,7 +255,7 @@ func (c *Client) StatsCtx(ctx context.Context) (StatsResponse, error) {
 
 // Healthz checks server liveness.
 func (c *Client) Healthz() (HealthResponse, error) {
-	return c.HealthzCtx(context.Background())
+	return c.HealthzCtx(context.Background()) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 }
 
 // HealthzCtx is Healthz bounded by the caller's context.
@@ -280,7 +280,12 @@ func (c *Client) Reload(ctx context.Context, token string) (HealthResponse, erro
 		if err != nil {
 			return fmt.Errorf("serve: POST /admin/reload: %w", err)
 		}
-		defer hr.Body.Close()
+		defer func() {
+			// Drain a bounded remainder before closing so the keep-alive
+			// connection is reusable (same contract as attempt).
+			_, _ = io.Copy(io.Discard, io.LimitReader(hr.Body, 4096))
+			hr.Body.Close()
+		}()
 		limited := io.LimitReader(hr.Body, maxResponseBytes)
 		if hr.StatusCode != http.StatusOK {
 			sErr := &StatusError{Status: hr.StatusCode}

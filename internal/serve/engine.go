@@ -152,7 +152,7 @@ func (e *Engine) Predict(m, k, n int) int { return e.PredictOp(OpGEMM, m, k, n) 
 // with the op's model and is cached under (op, shape). SYRK and SYR2K
 // callers pass the (n, k, n) triple of the equivalent output shape.
 func (e *Engine) PredictOp(op Op, m, k, n int) int {
-	threads, _ := e.PredictOpCtx(context.Background(), op, m, k, n)
+	threads, _ := e.PredictOpCtx(context.Background(), op, m, k, n) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 	return threads
 }
 
@@ -250,6 +250,8 @@ func (e *Engine) CachedChoice(op Op, m, k, n int) (threads int, ok bool) {
 // when non-nil, receives per-candidate predicted seconds. The state is
 // passed in (not re-loaded) so one ranking uses a consistent
 // library/scratch pair across a concurrent SwapLibrary.
+//
+//adsala:zeroalloc
 func (e *Engine) rankWith(st *libState, op Op, m, k, n int, scores []float64) int {
 	s := st.scratch.Get().(*core.Scratch)
 	start := time.Now()
@@ -323,7 +325,7 @@ func (e *Engine) PredictBatch(shapes []sampling.Shape, out []int) []int {
 // every shape in the batch (mixed-op batches split per op at the HTTP
 // layer).
 func (e *Engine) PredictBatchOp(op Op, shapes []sampling.Shape, out []int) []int {
-	out, _ = e.PredictBatchOpCtx(context.Background(), op, shapes, out)
+	out, _ = e.PredictBatchOpCtx(context.Background(), op, shapes, out) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
 	return out
 }
 

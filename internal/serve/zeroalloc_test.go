@@ -1,0 +1,22 @@
+package serve
+
+import (
+	"testing"
+)
+
+// TestRankWithZeroAlloc pins the //adsala:zeroalloc contract on the
+// engine's cache-miss ranking path: once the scratch pool is primed,
+// rankWith — pooled scratch, full candidate ranking, latency-histogram
+// observation — allocates nothing per call.
+func TestRankWithZeroAlloc(t *testing.T) {
+	e := NewEngine(lib(t), Options{})
+	st := e.state.Load()
+	// Prime the pool so the steady state (reuse, not construction) is
+	// what gets measured.
+	e.rankWith(st, OpGEMM, 512, 256, 384, nil)
+	if n := testing.AllocsPerRun(200, func() {
+		e.rankWith(st, OpGEMM, 512, 256, 384, nil)
+	}); n != 0 {
+		t.Errorf("rankWith allocates %.1f/op, want 0", n)
+	}
+}
