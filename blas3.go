@@ -2,6 +2,7 @@ package adsala
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/blas"
 	"repro/internal/mat"
@@ -118,15 +119,34 @@ func syrkDims(rows, cols int, trans bool) (n, k int) {
 
 // SGEMM computes C ← alpha·op(A)·op(B) + beta·C in single precision with
 // the model-selected thread count.
+//
+// Each facade call times its kernel execution and, when the engine carries
+// a flight recorder, appends a measurement record alongside the decision
+// record — the in-process path is where predicted and measured runtimes
+// pair up, turning every traced call into labelled evaluation data for
+// adsala-replay. The timing is two monotonic clock reads; no closures, no
+// allocation.
 func (b *BLAS) SGEMM(transA, transB bool, alpha float32, a, bm *MatrixF32, beta float32, c *MatrixF32) error {
 	m, n, k := opDims32(a, transA, bm, transB)
-	return blas.SGEMM(transA, transB, alpha, a, bm, beta, c, b.choose(OpGEMM, m, k, n))
+	threads := b.choose(OpGEMM, m, k, n)
+	start := time.Now()
+	err := blas.SGEMM(transA, transB, alpha, a, bm, beta, c, threads)
+	if err == nil {
+		b.eng.RecordMeasured(OpGEMM, m, k, n, threads, time.Since(start).Nanoseconds())
+	}
+	return err
 }
 
 // DGEMM is the double-precision counterpart of SGEMM.
 func (b *BLAS) DGEMM(transA, transB bool, alpha float64, a, bm *MatrixF64, beta float64, c *MatrixF64) error {
 	m, n, k := opDims64(a, transA, bm, transB)
-	return blas.DGEMM(transA, transB, alpha, a, bm, beta, c, b.choose(OpGEMM, m, k, n))
+	threads := b.choose(OpGEMM, m, k, n)
+	start := time.Now()
+	err := blas.DGEMM(transA, transB, alpha, a, bm, beta, c, threads)
+	if err == nil {
+		b.eng.RecordMeasured(OpGEMM, m, k, n, threads, time.Since(start).Nanoseconds())
+	}
+	return err
 }
 
 // SSYRK computes C ← alpha·op(A)·op(A)ᵀ + beta·C in single precision with
@@ -135,13 +155,25 @@ func (b *BLAS) DGEMM(transA, transB bool, alpha float64, a, bm *MatrixF64, beta 
 // update; the result is exactly symmetric.
 func (b *BLAS) SSYRK(trans bool, alpha float32, a *MatrixF32, beta float32, c *MatrixF32) error {
 	n, k := syrkDims(a.Rows, a.Cols, trans)
-	return blas.SSYRK(trans, alpha, a, beta, c, b.choose(OpSYRK, n, k, n))
+	threads := b.choose(OpSYRK, n, k, n)
+	start := time.Now()
+	err := blas.SSYRK(trans, alpha, a, beta, c, threads)
+	if err == nil {
+		b.eng.RecordMeasured(OpSYRK, n, k, n, threads, time.Since(start).Nanoseconds())
+	}
+	return err
 }
 
 // DSYRK is the double-precision counterpart of SSYRK.
 func (b *BLAS) DSYRK(trans bool, alpha float64, a *MatrixF64, beta float64, c *MatrixF64) error {
 	n, k := syrkDims(a.Rows, a.Cols, trans)
-	return blas.DSYRK(trans, alpha, a, beta, c, b.choose(OpSYRK, n, k, n))
+	threads := b.choose(OpSYRK, n, k, n)
+	start := time.Now()
+	err := blas.DSYRK(trans, alpha, a, beta, c, threads)
+	if err == nil {
+		b.eng.RecordMeasured(OpSYRK, n, k, n, threads, time.Since(start).Nanoseconds())
+	}
+	return err
 }
 
 // SSYR2K computes C ← alpha·(op(A)·op(B)ᵀ + op(B)·op(A)ᵀ) + beta·C in
@@ -151,13 +183,25 @@ func (b *BLAS) DSYRK(trans bool, alpha float64, a *MatrixF64, beta float64, c *M
 // symmetric.
 func (b *BLAS) SSYR2K(trans bool, alpha float32, a, bm *MatrixF32, beta float32, c *MatrixF32) error {
 	n, k := syrkDims(a.Rows, a.Cols, trans)
-	return blas.SSYR2K(trans, alpha, a, bm, beta, c, b.choose(OpSYR2K, n, k, n))
+	threads := b.choose(OpSYR2K, n, k, n)
+	start := time.Now()
+	err := blas.SSYR2K(trans, alpha, a, bm, beta, c, threads)
+	if err == nil {
+		b.eng.RecordMeasured(OpSYR2K, n, k, n, threads, time.Since(start).Nanoseconds())
+	}
+	return err
 }
 
 // DSYR2K is the double-precision counterpart of SSYR2K.
 func (b *BLAS) DSYR2K(trans bool, alpha float64, a, bm *MatrixF64, beta float64, c *MatrixF64) error {
 	n, k := syrkDims(a.Rows, a.Cols, trans)
-	return blas.DSYR2K(trans, alpha, a, bm, beta, c, b.choose(OpSYR2K, n, k, n))
+	threads := b.choose(OpSYR2K, n, k, n)
+	start := time.Now()
+	err := blas.DSYR2K(trans, alpha, a, bm, beta, c, threads)
+	if err == nil {
+		b.eng.RecordMeasured(OpSYR2K, n, k, n, threads, time.Since(start).Nanoseconds())
+	}
+	return err
 }
 
 // LastChoice reports the thread count a previous call (or prediction)

@@ -42,6 +42,13 @@
 // -request-timeout bounds each request's ranking work. Requests that
 // cannot rank in time are answered by a deterministic heuristic and tagged
 // "fallback": true.
+//
+// Trace capture: -trace <prefix> turns on the flight recorder — one compact
+// binary record per decision appended to rotating `<prefix>-NNNNN.trace`
+// files (`-trace-max-mb` sets the rotation threshold), with drop-don't-block
+// backpressure so recording can never stall a request. Replay a capture
+// offline with adsala-replay to backtest candidate artefacts against real
+// traffic. Recorder health is exposed as adsala_trace_* metrics.
 package main
 
 import (
@@ -64,6 +71,7 @@ import (
 	"repro/internal/logx"
 	"repro/internal/sampling"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // config is the parsed command line of the daemon.
@@ -84,6 +92,9 @@ type config struct {
 	reloadOn    string
 	maxInflight int
 	reqTimeout  time.Duration
+
+	tracePrefix string
+	traceMaxMB  int
 }
 
 // parseFlags parses args (without the program name) into a config. Usage
@@ -106,6 +117,8 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.StringVar(&cfg.reloadOn, "reload-on", "", "signal triggering a hot artefact reload (only SIGHUP is supported; empty disables)")
 	fs.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrently served prediction requests (0 = 8×GOMAXPROCS, negative disables shedding)")
 	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 0, "per-request ranking deadline (0 = 2s, negative disables)")
+	fs.StringVar(&cfg.tracePrefix, "trace", "", "flight-recorder capture prefix: append one record per decision to <prefix>-NNNNN.trace files (empty disables)")
+	fs.IntVar(&cfg.traceMaxMB, "trace-max-mb", 64, "trace file rotation threshold in MiB (negative disables rotation)")
 	level := logx.RegisterFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -165,6 +178,20 @@ func buildServer(cfg config, out io.Writer) (*serve.Server, error) {
 	if cfg.pprof {
 		srv.EnablePprof()
 		lg.Infof("pprof enabled at /debug/pprof/")
+	}
+	if cfg.tracePrefix != "" {
+		rec, err := trace.Open(cfg.tracePrefix, trace.Options{
+			MaxFileBytes: int64(cfg.traceMaxMB) << 20,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("open flight recorder: %w", err)
+		}
+		// Attach before the warm-up in prepare() runs, so warm records get
+		// their flag; the recorder outlives the engine's serving life and is
+		// closed after graceful shutdown (via Engine().Recorder()).
+		eng.SetRecorder(rec)
+		rec.RegisterMetrics(srv.Registry())
+		lg.Infof("flight recorder capturing to %s-*.trace (rotate at %d MiB)", cfg.tracePrefix, cfg.traceMaxMB)
 	}
 	return srv, nil
 }
@@ -281,6 +308,22 @@ func run(args []string, out io.Writer) error {
 			}
 		}()
 	}
+	// closeTrace drains and closes the flight recorder, if one is attached —
+	// run after the listener stops producing decisions, so the final partial
+	// block (and any write error the drain hit) surfaces before exit.
+	closeTrace := func() {
+		rec := handler.Engine().Recorder()
+		if rec == nil {
+			return
+		}
+		handler.Engine().SetRecorder(nil)
+		if err := rec.Close(); err != nil {
+			lg.Infof("WARNING: flight recorder close: %v", err)
+			return
+		}
+		lg.Infof("flight recorder closed: %d records captured, %d dropped, %d bytes",
+			rec.Records(), rec.Dropped(), rec.BytesWritten())
+	}
 	errc := make(chan error, 1)
 	go func() {
 		lg.Infof("serving on %s", cfg.addr)
@@ -293,12 +336,14 @@ func run(args []string, out io.Writer) error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
+		closeTrace()
 		return err
 	}
 	handler.SetReady(true)
 	lg.Infof("ready")
 	select {
 	case err := <-errc:
+		closeTrace()
 		return err
 	case <-ctx.Done():
 		// Flip readiness before the listener closes so probes observe the
@@ -308,6 +353,9 @@ func run(args []string, out io.Writer) error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		shutdownErr := srv.Shutdown(shutdownCtx)
+		// The drained listener can no longer produce decisions; flush the
+		// capture so the trace on disk is complete before the process exits.
+		closeTrace()
 		// Save the snapshot even when graceful shutdown timed out: the
 		// cache is still valid, Save is atomic, and losing the warmed
 		// working set on exactly the restart path the snapshot exists for

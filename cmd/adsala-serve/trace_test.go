@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// TestDaemonTraceCapture pins the -trace wiring end to end in-process: the
+// daemon records its decisions (warm-up flagged), exposes the
+// adsala_trace_* metrics on /metrics, and the closed capture replays
+// against the serving artefact with exact decision agreement.
+func TestDaemonTraceCapture(t *testing.T) {
+	path := savedLibrary(t)
+	prefix := filepath.Join(t.TempDir(), "cap")
+	var out bytes.Buffer
+	cfg, err := parseFlags([]string{
+		"-lib", path, "-warmup", "8", "-trace", prefix, "-trace-max-mb", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.tracePrefix != prefix || cfg.traceMaxMB != 4 {
+		t.Fatalf("trace flags parsed wrong: %+v", cfg)
+	}
+	srv, err := newServer(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flight recorder capturing") {
+		t.Errorf("recorder start not reported: %q", out.String())
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Real traffic: two distinct shapes, one repeated (a cache hit).
+	for _, q := range []string{
+		"/predict?m=256&k=1024&n=256",
+		"/predict?m=256&k=1024&n=256",
+		"/predict?m=512&k=512&n=512",
+	} {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", q, resp.StatusCode)
+		}
+	}
+
+	// The recorder's metrics are registered and exposed.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{
+		"adsala_trace_records_total",
+		"adsala_trace_dropped_total",
+		"adsala_trace_bytes_written",
+	} {
+		if !strings.Contains(string(metrics), name) {
+			t.Errorf("/metrics lacks %s", name)
+		}
+	}
+
+	// Close the capture the way run() does after shutdown, then replay it
+	// against the recording artefact: agreement must be exact and the
+	// warm-up pass filtered.
+	rec := srv.Engine().Recorder()
+	if rec == nil {
+		t.Fatal("no recorder attached")
+	}
+	srv.Engine().SetRecorder(nil)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("recorder dropped %d records", rec.Dropped())
+	}
+
+	files, err := trace.Files(prefix)
+	if err != nil || len(files) == 0 {
+		t.Fatalf("trace files: %v, %v", files, err)
+	}
+	lib, err := core.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replay.Run(lib, files, replay.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decisions != 3 {
+		t.Errorf("replayed %d serving decisions, want 3", rep.Decisions)
+	}
+	if rep.Agreement != 1.0 {
+		t.Errorf("agreement %v, want 1.0", rep.Agreement)
+	}
+	if rep.WarmupSkipped == 0 {
+		t.Error("daemon warm-up records not flagged/skipped")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/sampling"
+	"repro/internal/trace"
 )
 
 // Options configures an Engine.
@@ -77,6 +78,15 @@ type Engine struct {
 	warmHits        atomic.Int64
 	warmMisses      atomic.Int64
 	warmPerOp       []opCounters
+
+	// recorder is the optional flight recorder (nil when tracing is off —
+	// the hot path pays one atomic pointer load). warming is the number of
+	// Warmup passes in flight; decisions recorded while it is non-zero are
+	// flagged as warm-up traffic, matching the /stats exclusion contract
+	// (requests served concurrently with a warm pass may be attributed to
+	// it, as Warmup already documents for the counters).
+	recorder atomic.Pointer[trace.Recorder]
+	warming  atomic.Int64
 }
 
 // opCounters is one operation's share of the serving counters.
@@ -92,12 +102,23 @@ type opCounters struct {
 // artefact with wider feature rows can never receive an undersized buffer.
 type libState struct {
 	lib     *core.Library
-	scratch sync.Pool // *core.Scratch
+	scratch sync.Pool // *rankScratch
+}
+
+// rankScratch is one pooled ranking workspace: the model-evaluation scratch
+// plus a candidate-score buffer, so the flight recorder can capture the
+// winner's predicted runtime on cache misses without allocating a score
+// vector per request.
+type rankScratch struct {
+	s      *core.Scratch
+	scores []float64
 }
 
 func newLibState(lib *core.Library) *libState {
 	st := &libState{lib: lib}
-	st.scratch.New = func() any { return lib.NewScratch() }
+	st.scratch.New = func() any {
+		return &rankScratch{s: lib.NewScratch(), scores: make([]float64, len(lib.Candidates))}
+	}
 	return st
 }
 
@@ -171,16 +192,20 @@ func (e *Engine) PredictOpCtx(ctx context.Context, op Op, m, k, n int) (threads 
 	oc.predictions.Add(1)
 	if threads, ok := e.cache.Get(op, m, k, n); ok {
 		oc.hits.Add(1)
+		e.traceDecision(op, m, k, n, threads, 0, trace.FlagCacheHit)
 		return threads, false
 	}
 	oc.misses.Add(1)
 	st := e.state.Load()
 	if st.lib.ModelFor(op) == nil || ctx.Err() != nil {
 		e.fallbacks.Add(1)
-		return heuristicChoice(st.lib.Candidates, op, m, k, n), true
+		threads = heuristicChoice(st.lib.Candidates, op, m, k, n)
+		e.traceDecision(op, m, k, n, threads, 0, trace.FlagFallback)
+		return threads, true
 	}
-	threads = e.rankWith(st, op, m, k, n, nil)
+	threads, predNs := e.rankWith(st, op, m, k, n, nil)
 	e.cache.Put(op, m, k, n, threads)
+	e.traceDecision(op, m, k, n, threads, predNs, 0)
 	return threads, false
 }
 
@@ -251,17 +276,30 @@ func (e *Engine) CachedChoice(op Op, m, k, n int) (threads int, ok bool) {
 // passed in (not re-loaded) so one ranking uses a consistent
 // library/scratch pair across a concurrent SwapLibrary.
 //
+// predNs is the winner's model-predicted runtime in nanoseconds — the
+// flight recorder's label. It is only computed when someone will read it
+// (caller-supplied scores, or a recorder attached); with tracing off and
+// scores nil the scoring pass is skipped exactly as before.
+//
 //adsala:zeroalloc
-func (e *Engine) rankWith(st *libState, op Op, m, k, n int, scores []float64) int {
-	s := st.scratch.Get().(*core.Scratch)
+func (e *Engine) rankWith(st *libState, op Op, m, k, n int, scores []float64) (best int, predNs int64) {
+	rs := st.scratch.Get().(*rankScratch)
+	sc := scores
+	if sc == nil && e.recorder.Load() != nil {
+		sc = rs.scores
+	}
 	start := time.Now()
-	best := st.lib.Candidates[st.lib.RankOpInto(op, m, k, n, s, scores)]
+	idx := st.lib.RankOpInto(op, m, k, n, rs.s, sc)
+	best = st.lib.Candidates[idx]
 	ns := time.Since(start).Nanoseconds()
 	e.evalNanos.Add(ns)
 	e.evals.Add(1)
 	e.latencyHist(op).Observe(ns)
-	st.scratch.Put(s)
-	return best
+	if sc != nil && idx < len(sc) {
+		predNs = int64(sc[idx] * 1e9)
+	}
+	st.scratch.Put(rs)
+	return best, predNs
 }
 
 // latencyHist returns the op's decision-latency histogram (GEMM for
@@ -300,10 +338,13 @@ func (e *Engine) RankOp(op Op, m, k, n int) (scores []float64, best int) {
 	scores = make([]float64, len(st.lib.Candidates))
 	if st.lib.ModelFor(op) == nil {
 		e.fallbacks.Add(1)
-		return scores, heuristicChoice(st.lib.Candidates, op, m, k, n)
+		best = heuristicChoice(st.lib.Candidates, op, m, k, n)
+		e.traceDecision(op, m, k, n, best, 0, trace.FlagFallback)
+		return scores, best
 	}
-	best = e.rankWith(st, op, m, k, n, scores)
+	best, predNs := e.rankWith(st, op, m, k, n, scores)
 	e.cache.Put(op, m, k, n, best)
+	e.traceDecision(op, m, k, n, best, predNs, 0)
 	return scores, best
 }
 
@@ -452,6 +493,8 @@ func (e *Engine) Warmup(dom sampling.Domain, n int, seed int64, opSet ...Op) (in
 			return 0, fmt.Errorf("serve: warmup: unknown op %v", op)
 		}
 	}
+	e.warming.Add(1)
+	defer e.warming.Add(-1)
 	total := 0
 	for _, op := range opSet {
 		sampler, err := sampling.NewSampler(dom, seed)

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"repro/internal/trace"
+)
+
+// SetRecorder attaches (or detaches, with nil) a flight recorder: every
+// subsequent decision — cache hit, model ranking, heuristic fallback — and
+// every RecordMeasured call is appended to it. The engine does not own the
+// recorder's lifecycle; whoever attached it closes it after the engine
+// stops producing (adsala-serve does so after graceful shutdown).
+func (e *Engine) SetRecorder(r *trace.Recorder) { e.recorder.Store(r) }
+
+// Recorder returns the attached flight recorder, or nil when tracing is
+// off.
+func (e *Engine) Recorder() *trace.Recorder { return e.recorder.Load() }
+
+// traceDecision appends one decision record to the attached recorder, if
+// any. Warm-up attribution happens here (not at the call sites) so every
+// decision path inherits it.
+//
+//adsala:zeroalloc
+func (e *Engine) traceDecision(op Op, m, k, n, threads int, predNs int64, flags uint8) {
+	r := e.recorder.Load()
+	if r == nil {
+		return
+	}
+	if e.warming.Load() > 0 {
+		flags |= trace.FlagWarmup
+	}
+	r.Record(trace.Record{
+		PredictedNs: predNs,
+		M:           int32(m),
+		K:           int32(k),
+		N:           int32(n),
+		Threads:     int32(threads),
+		Op:          op,
+		Flags:       flags,
+	})
+}
+
+// RecordMeasured appends a measurement record — the measured wall time of
+// one executed kernel call at the given thread count — to the attached
+// recorder, if any. The in-process BLAS facade calls it after each
+// successful execution; a serving daemon never does (it only decides), so
+// daemon traces hold decision records only. A no-op without a recorder.
+//
+//adsala:zeroalloc
+func (e *Engine) RecordMeasured(op Op, m, k, n, threads int, measuredNs int64) {
+	r := e.recorder.Load()
+	if r == nil {
+		return
+	}
+	flags := trace.FlagMeasured
+	if e.warming.Load() > 0 {
+		flags |= trace.FlagWarmup
+	}
+	r.Record(trace.Record{
+		MeasuredNs: measuredNs,
+		M:          int32(m),
+		K:          int32(k),
+		N:          int32(n),
+		Threads:    int32(threads),
+		Op:         op,
+		Flags:      flags,
+	})
+}

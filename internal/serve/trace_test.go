@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/sampling"
+	"repro/internal/trace"
+)
+
+// openRecorder attaches a fresh flight recorder to the engine and returns
+// it with a collector that flushes and re-reads the capture.
+func openRecorder(t *testing.T, e *Engine) (*trace.Recorder, func() []trace.Record) {
+	t.Helper()
+	prefix := filepath.Join(t.TempDir(), "cap")
+	rec, err := trace.Open(prefix, trace.Options{FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("trace.Open: %v", err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	e.SetRecorder(rec)
+	return rec, func() []trace.Record {
+		rec.Flush()
+		files, err := trace.Files(prefix)
+		if err != nil {
+			t.Fatalf("trace.Files: %v", err)
+		}
+		var out []trace.Record
+		if _, err := trace.ScanFiles(files, func(r *trace.Record) error {
+			out = append(out, *r)
+			return nil
+		}); err != nil {
+			t.Fatalf("ScanFiles: %v", err)
+		}
+		return out
+	}
+}
+
+// TestEngineTraceFlags pins what each decision path records: a miss carries
+// the model's predicted ns and no flags, a hit carries FlagCacheHit, a
+// fallback FlagFallback, and the recorded (op, shape, threads) match the
+// answers the engine returned.
+func TestEngineTraceFlags(t *testing.T) {
+	e := NewEngine(lib(t), Options{})
+	_, collect := openRecorder(t, e)
+
+	missThreads := e.PredictOp(OpGEMM, 512, 256, 384)
+	hitThreads := e.PredictOp(OpGEMM, 512, 256, 384)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired context forces the heuristic fallback on a miss
+	fbThreads, fb := e.PredictOpCtx(ctx, OpGEMM, 100, 100, 100)
+	if !fb {
+		t.Fatal("expected a fallback decision from the cancelled context")
+	}
+	e.RecordMeasured(OpGEMM, 512, 256, 384, missThreads, 4242)
+
+	recs := collect()
+	if len(recs) != 4 {
+		t.Fatalf("captured %d records, want 4: %+v", len(recs), recs)
+	}
+	miss, hit, fall, meas := recs[0], recs[1], recs[2], recs[3]
+
+	if miss.Flags != 0 {
+		t.Errorf("miss flags = %b, want 0", miss.Flags)
+	}
+	if miss.PredictedNs <= 0 {
+		t.Errorf("miss PredictedNs = %d, want > 0 (model ranking ran)", miss.PredictedNs)
+	}
+	if int(miss.Threads) != missThreads || miss.M != 512 || miss.K != 256 || miss.N != 384 {
+		t.Errorf("miss record %+v disagrees with answer %d", miss, missThreads)
+	}
+
+	if hit.Flags != trace.FlagCacheHit {
+		t.Errorf("hit flags = %b, want FlagCacheHit", hit.Flags)
+	}
+	if hit.PredictedNs != 0 {
+		t.Errorf("hit PredictedNs = %d, want 0 (no ranking ran)", hit.PredictedNs)
+	}
+	if int(hit.Threads) != hitThreads {
+		t.Errorf("hit record threads %d disagrees with answer %d", hit.Threads, hitThreads)
+	}
+
+	if fall.Flags != trace.FlagFallback {
+		t.Errorf("fallback flags = %b, want FlagFallback", fall.Flags)
+	}
+	if int(fall.Threads) != fbThreads {
+		t.Errorf("fallback record threads %d disagrees with answer %d", fall.Threads, fbThreads)
+	}
+
+	if meas.Flags != trace.FlagMeasured || meas.IsDecision() {
+		t.Errorf("measurement flags = %b, want FlagMeasured", meas.Flags)
+	}
+	if meas.MeasuredNs != 4242 || int(meas.Threads) != missThreads {
+		t.Errorf("measurement record mangled: %+v", meas)
+	}
+
+	// Timestamps are monotone within the capture.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TS < recs[i-1].TS {
+			t.Errorf("timestamp regression at record %d", i)
+		}
+	}
+}
+
+// TestEngineTraceWarmupFlagged pins the satellite contract: Warmup traffic
+// is flagged in the trace (matching the /stats exclusion), and real serving
+// decisions recorded after the warm pass are not.
+func TestEngineTraceWarmupFlagged(t *testing.T) {
+	e := NewEngine(lib(t), Options{})
+	_, collect := openRecorder(t, e)
+
+	dom := sampling.DefaultDomain().WithCapMB(100)
+	warmed, err := e.Warmup(dom, 16, 3, OpGEMM)
+	if err != nil {
+		t.Fatalf("Warmup: %v", err)
+	}
+	if warmed == 0 {
+		t.Fatal("Warmup warmed nothing")
+	}
+	e.PredictOp(OpGEMM, 512, 256, 384) // real traffic after the warm pass
+
+	// The warm pass dedups shapes batch-locally, so it records one decision
+	// per unique shape (≤ warmed); the final record is the serving call.
+	recs := collect()
+	if len(recs) < 2 || len(recs) > warmed+1 {
+		t.Fatalf("captured %d records, want 2..%d", len(recs), warmed+1)
+	}
+	for i, r := range recs[:len(recs)-1] {
+		if !r.IsWarmup() {
+			t.Fatalf("warm-pass record %d not flagged: %+v", i, r)
+		}
+	}
+	if last := recs[len(recs)-1]; last.IsWarmup() {
+		t.Fatalf("post-warmup serving record flagged as warm-up: %+v", last)
+	}
+}
+
+// TestEngineTraceDetached pins that detaching the recorder stops recording
+// without disturbing serving.
+func TestEngineTraceDetached(t *testing.T) {
+	e := NewEngine(lib(t), Options{})
+	rec, collect := openRecorder(t, e)
+
+	e.PredictOp(OpGEMM, 512, 256, 384)
+	e.SetRecorder(nil)
+	if e.Recorder() != nil {
+		t.Fatal("Recorder() non-nil after detach")
+	}
+	e.PredictOp(OpGEMM, 128, 128, 128)
+	if got := collect(); len(got) != 1 {
+		t.Fatalf("captured %d records after detach, want 1", len(got))
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("dropped %d", rec.Dropped())
+	}
+}

@@ -1,7 +1,11 @@
 package serve
 
 import (
+	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // TestRankWithZeroAlloc pins the //adsala:zeroalloc contract on the
@@ -9,6 +13,9 @@ import (
 // rankWith — pooled scratch, full candidate ranking, latency-histogram
 // observation — allocates nothing per call.
 func TestRankWithZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are perturbed by the race detector")
+	}
 	e := NewEngine(lib(t), Options{})
 	st := e.state.Load()
 	// Prime the pool so the steady state (reuse, not construction) is
@@ -18,5 +25,52 @@ func TestRankWithZeroAlloc(t *testing.T) {
 		e.rankWith(st, OpGEMM, 512, 256, 384, nil)
 	}); n != 0 {
 		t.Errorf("rankWith allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestPredictTracedZeroAlloc pins that attaching a flight recorder keeps
+// the serve path allocation-free: both the cache-hit path (traceDecision +
+// ring push) and the cache-miss path (rankWith with the pooled score
+// buffer, then the record) stay at 0 allocs/op.
+func TestPredictTracedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are perturbed by the race detector")
+	}
+	e := NewEngine(lib(t), Options{})
+	rec, err := trace.Open(filepath.Join(t.TempDir(), "cap"), trace.Options{
+		RingSize:      1 << 16,
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("trace.Open: %v", err)
+	}
+	defer rec.Close()
+	e.SetRecorder(rec)
+
+	// Cache-hit path: one miss to seed, then hits.
+	e.PredictOp(OpGEMM, 512, 256, 384)
+	if n := testing.AllocsPerRun(200, func() {
+		e.PredictOp(OpGEMM, 512, 256, 384)
+	}); n != 0 {
+		t.Errorf("traced cache-hit PredictOp allocates %.1f/op, want 0", n)
+	}
+
+	// Cache-miss ranking path with the recorder's predicted-ns capture.
+	st := e.state.Load()
+	e.rankWith(st, OpGEMM, 512, 256, 384, nil)
+	if n := testing.AllocsPerRun(200, func() {
+		e.rankWith(st, OpGEMM, 512, 256, 384, nil)
+	}); n != 0 {
+		t.Errorf("traced rankWith allocates %.1f/op, want 0", n)
+	}
+
+	// Measurement records from the facade path.
+	if n := testing.AllocsPerRun(200, func() {
+		e.RecordMeasured(OpGEMM, 512, 256, 384, 8, 12345)
+	}); n != 0 {
+		t.Errorf("RecordMeasured allocates %.1f/op, want 0", n)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("ring dropped %d records during the run; size the ring up", rec.Dropped())
 	}
 }

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options configures a Recorder. The zero value selects the defaults.
+type Options struct {
+	// RingSize is the capacity of the in-memory record ring (rounded up to
+	// a power of two). When the drain goroutine falls behind by this many
+	// records, new records are dropped (and counted) instead of blocking
+	// the request path. 0 selects 8192.
+	RingSize int
+	// FlushInterval bounds how long an encoded partial block may sit in
+	// memory before it is written out, so a lightly loaded daemon's trace
+	// stays near-real-time on disk. 0 selects 500ms.
+	FlushInterval time.Duration
+	// MaxFileBytes and BlockBytes configure the underlying Writer.
+	MaxFileBytes int64
+	BlockBytes   int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RingSize <= 0 {
+		o.RingSize = 8192
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 500 * time.Millisecond
+	}
+	return o
+}
+
+// ringSlot is one pre-allocated ring entry. seq is the Vyukov sequence
+// number: slot i is free for enqueue position pos when seq == pos, holds a
+// record for dequeue position pos when seq == pos+1, and returns to the
+// free state at seq == pos+ringSize after consumption.
+type ringSlot struct {
+	seq atomic.Uint64
+	rec Record
+}
+
+// Recorder is the flight recorder: a lock-free multi-producer ring drained
+// by one background goroutine into a rotating block Writer. Record never
+// blocks and never allocates; Close flushes everything that was accepted.
+type Recorder struct {
+	start time.Time
+	slots []ringSlot
+	mask  uint64
+	enq   atomic.Uint64
+	deq   uint64 // drain goroutine only
+
+	records atomic.Int64 // accepted into the ring
+	dropped atomic.Int64 // rejected: ring full, closed, or writer failed
+	written atomic.Int64 // bytes on disk (mirrors Writer.BytesWritten)
+
+	opts     Options
+	w        *Writer
+	failed   atomic.Bool // a write error stopped the drain; records now drop
+	err      error       // first writer error (owned by the drain goroutine)
+	closed   atomic.Bool
+	closeCh  chan struct{}
+	flushReq chan chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// Open starts a flight recorder writing `<prefix>-NNNNN.trace` files.
+func Open(prefix string, opts Options) (*Recorder, error) {
+	opts = opts.withDefaults()
+	size := 1
+	for size < opts.RingSize {
+		size <<= 1
+	}
+	start := time.Now()
+	w, err := NewWriter(prefix, start, WriterOptions{
+		MaxFileBytes: opts.MaxFileBytes,
+		BlockBytes:   opts.BlockBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Recorder{
+		start:    start,
+		slots:    make([]ringSlot, size),
+		mask:     uint64(size - 1),
+		opts:     opts,
+		w:        w,
+		closeCh:  make(chan struct{}),
+		flushReq: make(chan chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	r.written.Store(w.BytesWritten())
+	go r.drain()
+	return r, nil
+}
+
+// Record stamps the event time onto rec and pushes it into the ring. It
+// never blocks: when the ring is full (the drain goroutine is behind), the
+// record is dropped and counted instead, so tracing can never stall the
+// serving path that produced the event.
+//
+//adsala:zeroalloc
+func (r *Recorder) Record(rec Record) {
+	if r.closed.Load() || r.failed.Load() {
+		r.dropped.Add(1)
+		return
+	}
+	rec.TS = int64(time.Since(r.start))
+	for {
+		pos := r.enq.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		if seq == pos {
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.rec = rec
+				slot.seq.Store(pos + 1)
+				r.records.Add(1)
+				return
+			}
+		} else if seq < pos {
+			// The slot still holds the record from one lap ago: ring full.
+			r.dropped.Add(1)
+			return
+		}
+		// seq > pos: another producer advanced enq under us; retry.
+	}
+}
+
+// drain is the single consumer: it moves ring records into the block
+// writer, flushes partial blocks on the FlushInterval, and performs the
+// final flush at Close.
+func (r *Recorder) drain() {
+	defer close(r.done)
+	const poll = 2 * time.Millisecond
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	lastFlush := time.Now()
+	for {
+		n := r.drainAvailable()
+		if n > 0 {
+			r.written.Store(r.w.BytesWritten())
+		}
+		select {
+		case <-r.closeCh:
+			r.drainAvailable()
+			if err := r.w.Close(); err != nil && r.err == nil {
+				r.err = err
+			}
+			r.written.Store(r.w.BytesWritten())
+			return
+		case ack := <-r.flushReq:
+			r.drainAvailable()
+			if !r.failed.Load() {
+				r.writerDo(r.w.Flush())
+			}
+			r.written.Store(r.w.BytesWritten())
+			lastFlush = time.Now()
+			close(ack)
+		case <-ticker.C:
+			if time.Since(lastFlush) >= r.opts.FlushInterval {
+				if !r.failed.Load() {
+					r.writerDo(r.w.Flush())
+				}
+				r.written.Store(r.w.BytesWritten())
+				lastFlush = time.Now()
+			}
+		}
+	}
+}
+
+// drainAvailable appends every ring record currently available to the
+// writer and returns how many it consumed.
+func (r *Recorder) drainAvailable() int {
+	n := 0
+	for {
+		pos := r.deq
+		slot := &r.slots[pos&r.mask]
+		if slot.seq.Load() != pos+1 {
+			return n
+		}
+		rec := slot.rec
+		slot.seq.Store(pos + uint64(len(r.slots)))
+		r.deq = pos + 1
+		n++
+		if !r.failed.Load() {
+			r.writerDo(r.w.Append(&rec))
+		}
+	}
+}
+
+// writerDo latches the first writer error and flips the recorder into the
+// failed state: a trace that can no longer be written (disk full, file
+// removed) must not take the daemon down with it, so recording degrades to
+// counting drops.
+func (r *Recorder) writerDo(err error) {
+	if err != nil && r.err == nil {
+		r.err = err
+		r.failed.Store(true)
+	}
+}
+
+// Flush blocks until everything accepted so far is drained and written
+// through to the current file — the test and tooling hook; the daemon path
+// relies on FlushInterval and Close. The drain goroutine owns the writer,
+// so the flush runs over there and this call synchronises with it.
+func (r *Recorder) Flush() {
+	ack := make(chan struct{})
+	select {
+	case r.flushReq <- ack:
+		select {
+		case <-ack:
+		case <-r.done:
+		}
+	case <-r.done:
+	}
+}
+
+// Close stops the recorder: subsequent records drop, the ring drains, the
+// final partial block flushes, and the current file closes. It returns the
+// first writer error encountered over the recorder's lifetime.
+func (r *Recorder) Close() error {
+	r.closed.Store(true)
+	r.once.Do(func() { close(r.closeCh) })
+	<-r.done
+	return r.err
+}
+
+// Records returns how many records have been accepted into the ring.
+func (r *Recorder) Records() int64 { return r.records.Load() }
+
+// Dropped returns how many records were dropped (ring full, recorder
+// closed, or the writer failed).
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+
+// BytesWritten returns the bytes written to disk so far.
+func (r *Recorder) BytesWritten() int64 { return r.written.Load() }
+
+// Err returns the first writer error, if any (records drop once it is set).
+func (r *Recorder) Err() error {
+	if !r.failed.Load() {
+		return nil
+	}
+	return r.err
+}
+
+// RegisterMetrics exposes the recorder's counters on a metrics registry:
+// adsala_trace_records_total, adsala_trace_dropped_total and the
+// adsala_trace_bytes_written gauge.
+func (r *Recorder) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("adsala_trace_records_total",
+		"Flight-recorder records accepted into the trace ring.",
+		func() float64 { return float64(r.records.Load()) })
+	reg.CounterFunc("adsala_trace_dropped_total",
+		"Flight-recorder records dropped (ring full, recorder closed, or write failure).",
+		func() float64 { return float64(r.dropped.Load()) })
+	reg.GaugeFunc("adsala_trace_bytes_written",
+		"Trace bytes written to disk across file rotations.",
+		func() float64 { return float64(r.written.Load()) })
+}
