@@ -16,6 +16,7 @@
 //	adsala-replay -trace cap -lib gadi.adsala.json
 //	adsala-replay -trace cap-00000.trace -lib retrained.json -baseline gadi.adsala.json -json
 //	adsala-replay -trace cap -lib gadi.adsala.json -min-agreement 0.99
+//	adsala-replay -trace cap -lib gadi.adsala.json -drift -drift-threshold 0.5
 //
 // -trace accepts a capture prefix (all `<prefix>-NNNNN.trace` rotations
 // replay in order) or a single trace file. -baseline replays the same trace
@@ -24,6 +25,13 @@
 // before promoting it. -min-agreement exits non-zero when the candidate's
 // decision agreement falls below the threshold, making the tool
 // self-asserting in CI.
+//
+// -drift additionally runs adsala-serve's online drift detector over the
+// capture on the trace's own clock: the measurement records stream through
+// the same windowed detector the daemon runs live (-drift-window,
+// -drift-threshold, -drift-min-samples mirror the daemon's flags), and the
+// report shows where it would have tripped — the offline threshold-tuning
+// loop for the online monitor.
 package main
 
 import (
@@ -34,8 +42,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -50,6 +60,11 @@ type config struct {
 	shards        int
 	includeWarmup bool
 	minAgreement  float64
+
+	driftMode       bool
+	driftWindow     time.Duration
+	driftThreshold  float64
+	driftMinSamples int64
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -65,6 +80,10 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.IntVar(&cfg.shards, "shards", 16, "simulated decision cache shard count")
 	fs.BoolVar(&cfg.includeWarmup, "include-warmup", false, "also score records flagged as warm-up traffic")
 	fs.Float64Var(&cfg.minAgreement, "min-agreement", -1, "exit non-zero when decision agreement falls below this fraction (negative disables)")
+	fs.BoolVar(&cfg.driftMode, "drift", false, "also run the online drift detector over the capture on the trace's own clock")
+	fs.DurationVar(&cfg.driftWindow, "drift-window", time.Minute, "drift detector sliding window")
+	fs.Float64Var(&cfg.driftThreshold, "drift-threshold", 1.0, "drift trip point on |windowed mean residual_log2|")
+	fs.Int64Var(&cfg.driftMinSamples, "drift-min-samples", 32, "minimum windowed residual count before an op can be flagged drifting")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -88,6 +107,10 @@ type output struct {
 	Candidate *replay.Report `json:"candidate"`
 	Baseline  *replay.Report `json:"baseline,omitempty"`
 	Diff      *diff          `json:"diff,omitempty"`
+	// Drift is the online drift detector's report over the capture — the
+	// exact detector adsala-serve runs live, driven by the trace's own
+	// timestamps (-drift).
+	Drift *drift.Report `json:"drift,omitempty"`
 }
 
 // diff is candidate minus baseline on the headline scores.
@@ -163,6 +186,41 @@ func printText(out io.Writer, label string, rep *replay.Report) {
 	}
 }
 
+// printDrift renders the drift detector's report as human-readable lines.
+func printDrift(out io.Writer, rep *drift.Report) {
+	fmt.Fprintf(out, "drift (window %.0fs, threshold %.2f, min samples %d):\n",
+		rep.WindowSeconds, rep.Threshold, rep.MinSamples)
+	if rep.Degraded {
+		fmt.Fprintf(out, "  DEGRADED at end of capture: %v\n", rep.DriftingOps)
+	} else {
+		fmt.Fprintf(out, "  healthy at end of capture (%d measurements scored)\n", rep.Observed)
+	}
+	for op, od := range rep.PerOp {
+		fmt.Fprintf(out, "  %s: %d measured", op, od.Measured)
+		if od.Unpredicted > 0 {
+			fmt.Fprintf(out, " (%d unpredicted)", od.Unpredicted)
+		}
+		fmt.Fprintf(out, ", windowed residual log2 %.3f±%.3f over %d samples",
+			od.ResidualLog2.Mean, od.ResidualLog2.Std, od.ResidualLog2.Count)
+		if od.Drifting {
+			fmt.Fprintf(out, " DRIFTING")
+		}
+		fmt.Fprintln(out)
+		for _, b := range []string{"small", "medium", "large"} {
+			bd, ok := od.Buckets[b]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(out, "    %s: %d samples, windowed residual log2 %.3f±%.3f",
+				b, bd.Samples, bd.ResidualLog2.Mean, bd.ResidualLog2.Std)
+			if bd.Drifting {
+				fmt.Fprintf(out, " DRIFTING")
+			}
+			fmt.Fprintln(out)
+		}
+	}
+}
+
 func run(args []string, out io.Writer) error {
 	cfg, err := parseFlags(args, out)
 	if errors.Is(err, flag.ErrHelp) {
@@ -192,6 +250,20 @@ func run(args []string, out io.Writer) error {
 		}
 		doc.Diff = diffReports(doc.Candidate, doc.Baseline)
 	}
+	if cfg.driftMode {
+		lib, err := core.Load(cfg.libPath)
+		if err != nil {
+			return err
+		}
+		doc.Drift, err = replay.DriftRun(lib, files, drift.Config{
+			Window:     cfg.driftWindow,
+			Threshold:  cfg.driftThreshold,
+			MinSamples: cfg.driftMinSamples,
+		}, cfg.includeWarmup)
+		if err != nil {
+			return fmt.Errorf("drift: %w", err)
+		}
+	}
 
 	if cfg.jsonOut {
 		enc := json.NewEncoder(out)
@@ -205,6 +277,9 @@ func run(args []string, out io.Writer) error {
 			printText(out, cfg.baselinePath+" (baseline)", doc.Baseline)
 			fmt.Fprintf(out, "diff (candidate - baseline): agreement %+.2f%%, cache hit rate %+.2f%%\n",
 				doc.Diff.Agreement*100, doc.Diff.CacheHitRate*100)
+		}
+		if doc.Drift != nil {
+			printDrift(out, doc.Drift)
 		}
 	}
 

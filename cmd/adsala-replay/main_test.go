@@ -76,6 +76,17 @@ func fixture(t *testing.T) (libPath, tracePrefix string, decisions int) {
 			eng.PredictOp(serve.OpGEMM, sh.M, sh.K, sh.N) // repeat: cache hits
 		}
 		fixN = 2 * len(shapes)
+		// Measurement records at 2x the model's estimate: residual_log2 is
+		// exactly -1 per record, which the -drift tests trip on. Thread counts
+		// come straight from the library so no extra decisions are recorded.
+		for _, sh := range shapes {
+			threads := clib.OptimalThreads(sh.M, sh.K, sh.N)
+			ns := int64(clib.PredictOpSeconds(serve.OpGEMM, sh.M, sh.K, sh.N, threads) * 2e9)
+			if ns <= 0 {
+				ns = 2
+			}
+			eng.RecordMeasured(serve.OpGEMM, sh.M, sh.K, sh.N, threads, ns)
+		}
 		fixErr = rec.Close()
 	})
 	if fixErr != nil {
@@ -100,6 +111,69 @@ func TestParseFlags(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-trace", "cap", "-lib", "x", "-min-agreement", "1.5"}, io.Discard); err == nil {
 		t.Error("-min-agreement > 1 should error")
+	}
+
+	cfg, err = parseFlags([]string{"-trace", "cap", "-lib", "x.json", "-drift",
+		"-drift-window", "30s", "-drift-threshold", "0.5", "-drift-min-samples", "8"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.driftMode || cfg.driftWindow != 30*time.Second || cfg.driftThreshold != 0.5 || cfg.driftMinSamples != 8 {
+		t.Errorf("drift flags parsed %+v", cfg)
+	}
+}
+
+// TestReplayDriftMode pins the -drift offline detector: the fixture's
+// measurement records run 2x slower than the model's estimate, so a 0.5
+// threshold must trip on gemm — in the JSON document and the text render.
+func TestReplayDriftMode(t *testing.T) {
+	libPath, prefix, _ := fixture(t)
+	var buf bytes.Buffer
+	err := run([]string{"-trace", prefix, "-lib", libPath, "-json",
+		"-drift", "-drift-threshold", "0.5", "-drift-min-samples", "8"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var doc output
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Drift == nil {
+		t.Fatal("no drift report in -drift output")
+	}
+	if doc.Drift.Schema != "adsala/drift/v1" {
+		t.Errorf("drift schema = %q", doc.Drift.Schema)
+	}
+	if !doc.Drift.Degraded || len(doc.Drift.DriftingOps) != 1 || doc.Drift.DriftingOps[0] != "gemm" {
+		t.Fatalf("2x-slow capture not flagged: degraded=%v ops=%v",
+			doc.Drift.Degraded, doc.Drift.DriftingOps)
+	}
+	if m := doc.Drift.PerOp["gemm"].ResidualLog2.Mean; m > -0.9 || m < -1.1 {
+		t.Errorf("residual mean %.4f, want ~-1 (2x-slow measurements)", m)
+	}
+
+	// Without -drift the report is absent.
+	buf.Reset()
+	if err := run([]string{"-trace", prefix, "-lib", libPath, "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var plain output
+	if err := json.Unmarshal(buf.Bytes(), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Drift != nil {
+		t.Error("drift report present without -drift")
+	}
+
+	// Text mode renders the drift section with the tripped markers.
+	buf.Reset()
+	if err := run([]string{"-trace", prefix, "-lib", libPath,
+		"-drift", "-drift-threshold", "0.5", "-drift-min-samples", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "drift (window") || !strings.Contains(text, "DEGRADED") || !strings.Contains(text, "DRIFTING") {
+		t.Fatalf("text drift render lacks markers:\n%s", text)
 	}
 }
 

@@ -7,6 +7,8 @@
 //	GET  /predict?m=&k=&n=&op=  one decision (add &detail=1 for the ranking)
 //	POST /predict               {"m":..,"k":..,"n":..,"op":"gemm"|"syrk"|"syr2k"}
 //	POST /batch                 {"shapes":[{"m":..,"k":..,"n":..,"op":..},...]}
+//	POST /measured              measured kernel wall times reported back by executing clients
+//	GET  /drift                 online model-quality drift report (requires -drift-window)
 //	GET  /stats                 cache, engine and HTTP latency metrics
 //	GET  /healthz               readiness probe: 503 while starting or draining
 //	GET  /livez                 liveness probe: 200 whenever the process answers
@@ -49,6 +51,18 @@
 // backpressure so recording can never stall a request. Replay a capture
 // offline with adsala-replay to backtest candidate artefacts against real
 // traffic. Recorder health is exposed as adsala_trace_* metrics.
+//
+// Drift monitoring: -drift-window 1m turns on the online model-quality
+// monitor — every measured wall time reported through POST /measured is
+// scored against the model's prediction into per-op, shape-bucketed sliding
+// windows of the same residual statistics adsala-replay computes offline.
+// When an op's |windowed mean residual_log2| exceeds -drift-threshold (with
+// at least -drift-min-samples residuals in the window), /healthz flips to
+// "degraded": true naming the op while readiness stays 200, a structured
+// drift_start event is logged, and adsala_drift_* gauges expose the window
+// on /metrics. GET /drift serves the full schema-versioned report; tune
+// thresholds offline by running the same detector over a capture with
+// adsala-replay -drift.
 package main
 
 import (
@@ -68,6 +82,7 @@ import (
 
 	adsala "repro"
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/logx"
 	"repro/internal/sampling"
 	"repro/internal/serve"
@@ -95,6 +110,10 @@ type config struct {
 
 	tracePrefix string
 	traceMaxMB  int
+
+	driftWindow     time.Duration
+	driftThreshold  float64
+	driftMinSamples int64
 }
 
 // parseFlags parses args (without the program name) into a config. Usage
@@ -119,6 +138,9 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 0, "per-request ranking deadline (0 = 2s, negative disables)")
 	fs.StringVar(&cfg.tracePrefix, "trace", "", "flight-recorder capture prefix: append one record per decision to <prefix>-NNNNN.trace files (empty disables)")
 	fs.IntVar(&cfg.traceMaxMB, "trace-max-mb", 64, "trace file rotation threshold in MiB (negative disables rotation)")
+	fs.DurationVar(&cfg.driftWindow, "drift-window", 0, "sliding window of the online drift monitor (0 disables drift monitoring)")
+	fs.Float64Var(&cfg.driftThreshold, "drift-threshold", 1.0, "drift trip point on |windowed mean residual_log2| (1.0 = predictions off by 2x on average)")
+	fs.Int64Var(&cfg.driftMinSamples, "drift-min-samples", 32, "minimum windowed residual count before an op can be flagged drifting")
 	level := logx.RegisterFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -192,6 +214,18 @@ func buildServer(cfg config, out io.Writer) (*serve.Server, error) {
 		eng.SetRecorder(rec)
 		rec.RegisterMetrics(srv.Registry())
 		lg.Infof("flight recorder capturing to %s-*.trace (rotate at %d MiB)", cfg.tracePrefix, cfg.traceMaxMB)
+	}
+	if cfg.driftWindow > 0 {
+		mon := drift.NewMonitor(drift.Config{
+			Window:     cfg.driftWindow,
+			Threshold:  cfg.driftThreshold,
+			MinSamples: cfg.driftMinSamples,
+		})
+		eng.SetDriftMonitor(mon)
+		mon.RegisterMetrics(srv.Registry())
+		rc := mon.Config()
+		lg.Infof("drift monitor on: window=%s threshold=%.2f min-samples=%d (/drift, POST /measured)",
+			rc.Window, rc.Threshold, rc.MinSamples)
 	}
 	return srv, nil
 }
@@ -341,6 +375,25 @@ func run(args []string, out io.Writer) error {
 	}
 	handler.SetReady(true)
 	lg.Infof("ready")
+	// Drift events surface in the log on a slot-duration cadence — the
+	// monitor's own eviction granularity, so every window rotation gets one
+	// evaluation. The monitor itself is wait-free; only this logging loop
+	// ticks.
+	if mon := handler.Engine().DriftMonitor(); mon != nil {
+		mc := mon.Config()
+		go func() {
+			tick := time.NewTicker(mc.Window / time.Duration(mc.Slots))
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					mon.LogEvents(lg)
+				}
+			}
+		}()
+	}
 	select {
 	case err := <-errc:
 		closeTrace()

@@ -56,6 +56,7 @@ type config struct {
 	concurrency  int
 	drainTimeout time.Duration
 	linger       time.Duration
+	pprof        bool
 	level        logx.Level
 }
 
@@ -71,6 +72,7 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.IntVar(&cfg.concurrency, "concurrency", 1, "units executed in parallel (1 keeps the machine idle for timing)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight units on shutdown")
 	fs.DurationVar(&cfg.linger, "linger", 10*time.Second, "max wait after drain for the coordinator to fetch completed results")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	level := logx.RegisterFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -108,6 +110,10 @@ func run(args []string, out io.Writer) error {
 		Logf:        lg.Infof,
 		DebugLogf:   lg.Debugf,
 	})
+	if cfg.pprof {
+		worker.EnablePprof()
+		lg.Infof("pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{Addr: cfg.addr, Handler: worker}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

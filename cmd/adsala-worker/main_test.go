@@ -17,11 +17,11 @@ import (
 )
 
 func TestParseFlags(t *testing.T) {
-	cfg, err := parseFlags([]string{"-addr", ":9191", "-sim", "-name", "w7", "-concurrency", "2"}, io.Discard)
+	cfg, err := parseFlags([]string{"-addr", ":9191", "-sim", "-name", "w7", "-concurrency", "2", "-pprof"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.addr != ":9191" || !cfg.sim || cfg.name != "w7" || cfg.concurrency != 2 {
+	if cfg.addr != ":9191" || !cfg.sim || cfg.name != "w7" || cfg.concurrency != 2 || !cfg.pprof {
 		t.Errorf("parsed %+v", cfg)
 	}
 	if _, err := parseFlags([]string{"-concurrency", "0"}, io.Discard); err == nil {

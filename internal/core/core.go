@@ -475,6 +475,28 @@ func (l *Library) PredictOpSeconds(op ops.Op, m, k, n, threads int) float64 {
 	return l.ModelFor(op).predictSeconds(m, k, n, threads)
 }
 
+// PredictOpSecondsInto is PredictOpSeconds evaluated through the scratch
+// buffers — the allocation-free form, for hot paths that score a single
+// configuration (the serving engine's measured-stream drift hook). The
+// caller must hold a model for the op (ModelFor non-nil) and a Scratch
+// sized for this library.
+//
+//adsala:zeroalloc
+func (l *Library) PredictOpSecondsInto(op ops.Op, mm, k, n, threads int, s *Scratch) float64 {
+	mod := l.ModelFor(op)
+	features.RowInto(mm, k, n, threads, s.raw)
+	row := s.raw
+	if idx := mod.featureIndices(); idx != nil {
+		row = s.restricted[:len(idx)]
+		for j, jj := range idx {
+			row[j] = s.raw[jj]
+		}
+	}
+	buf := s.buf[:len(mod.Pipeline.Keep)]
+	mod.Pipeline.TransformInto(row, buf)
+	return mod.Pipeline.UntransformTarget(mod.Model.Predict(buf))
+}
+
 // PredictSeconds is PredictOpSeconds for GEMM.
 func (l *Library) PredictSeconds(m, k, n, threads int) float64 {
 	return l.PredictOpSeconds(ops.GEMM, m, k, n, threads)

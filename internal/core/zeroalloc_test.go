@@ -27,3 +27,21 @@ func TestRankOpIntoZeroAlloc(t *testing.T) {
 		t.Errorf("RankInto allocates %.1f/op, want 0", n)
 	}
 }
+
+// TestPredictOpSecondsIntoZeroAlloc pins the single-configuration scoring
+// path (the drift monitor's per-measurement predicted label): it must
+// agree exactly with the allocating PredictOpSeconds and allocate nothing.
+func TestPredictOpSecondsIntoZeroAlloc(t *testing.T) {
+	res := quickTrain(t, 40)
+	lib := res.Library
+	s := lib.NewScratch()
+	want := lib.PredictOpSeconds(ops.GEMM, 512, 256, 384, 8)
+	if got := lib.PredictOpSecondsInto(ops.GEMM, 512, 256, 384, 8, s); got != want {
+		t.Fatalf("PredictOpSecondsInto = %v, PredictOpSeconds = %v — must agree exactly", got, want)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		lib.PredictOpSecondsInto(ops.GEMM, 512, 256, 384, 8, s)
+	}); n != 0 {
+		t.Errorf("PredictOpSecondsInto allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package drift
+
+// raceEnabled reports whether this test binary was built with -race;
+// allocation-count pins are skipped under the race detector.
+const raceEnabled = false

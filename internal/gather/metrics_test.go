@@ -89,6 +89,29 @@ func TestWorkerReadinessLifecycle(t *testing.T) {
 	_ = w
 }
 
+// TestWorkerPprofGate checks the worker's profiling endpoints stay off
+// until explicitly enabled — same contract as the serve daemon.
+func TestWorkerPprofGate(t *testing.T) {
+	w, srv := startWorker(t, WorkerOptions{Name: "w1"})
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without EnablePprof")
+	}
+	w.EnablePprof()
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d after EnablePprof", resp.StatusCode)
+	}
+}
+
 // TestGatherMetricsEndToEnd runs one distributed sweep with a metrics
 // registry on both sides and checks the coordinator and worker expositions
 // account for every unit.
@@ -130,6 +153,8 @@ func TestGatherMetricsEndToEnd(t *testing.T) {
 		"adsala_worker_unit_seconds_count 3",
 		"adsala_worker_registered 1",
 		"adsala_worker_draining 0",
+		`adsala_build_info{go_version="`,
+		"adsala_uptime_seconds",
 	} {
 		if !strings.Contains(wtext, want) {
 			t.Errorf("worker exposition lacks %q:\n%s", want, wtext)

@@ -142,12 +142,19 @@ func NewWorker(opts WorkerOptions) *Worker {
 	w.mux.HandleFunc("/livez", w.handleLivez)
 	w.mux.HandleFunc("/drain", w.handleDrain)
 	w.mux.Handle("/metrics", w.reg.Handler())
+	obs.RegisterProcessMetrics(w.reg)
 	return w
 }
 
 // Registry returns the worker's metrics registry (served at /metrics), so
 // the daemon can attach process-level instruments alongside the worker's.
 func (w *Worker) Registry() *obs.Registry { return w.reg }
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the worker's mux
+// — the same guarded wiring adsala-serve uses. Off by default; a timing
+// worker's whole job is to keep the machine quiet, so profiling is strictly
+// opt-in (-pprof).
+func (w *Worker) EnablePprof() { obs.MountPprof(w.mux) }
 
 // ServeHTTP implements http.Handler.
 func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Version returns the build's version string: the main module version
+// stamped by the Go toolchain when built from a tagged module, "(devel)"
+// otherwise. Exposed as the adsala_build_info version label so a scrape
+// can tell which build answered it.
+func Version() string {
+	if info, ok := debug.ReadBuildInfo(); ok && info.Main.Version != "" {
+		return info.Main.Version
+	}
+	return "(devel)"
+}
+
+// RegisterProcessMetrics attaches the process-identity instruments every
+// daemon exposes: adsala_build_info (constant 1, with version and
+// go_version labels — the Prometheus build-info convention, joinable onto
+// any other series) and adsala_uptime_seconds (seconds since registration,
+// i.e. since daemon construction). Idempotent per registry, like all
+// registration.
+func RegisterProcessMetrics(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("adsala_build_info",
+		"Constant 1, labelled with the build's module version and Go toolchain version.",
+		func() float64 { return 1 },
+		L("version", Version()), L("go_version", runtime.Version()))
+	r.GaugeFunc("adsala_uptime_seconds",
+		"Seconds since this daemon's metrics registry came up.",
+		func() float64 { return time.Since(start).Seconds() })
+}
+
+// MountPprof mounts net/http/pprof under /debug/pprof/ on the mux — the
+// shared wiring behind every daemon's opt-in -pprof flag. Off by default
+// everywhere: profiling endpoints expose internals and cost CPU, so
+// daemons gate this behind the flag rather than mounting unconditionally.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

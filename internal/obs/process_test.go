@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRegisterProcessMetrics pins the process-identity exposition:
+// adsala_build_info carries the version labels with constant value 1, and
+// adsala_uptime_seconds is a non-negative gauge.
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	RegisterProcessMetrics(r) // idempotent
+
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	if !strings.Contains(text, `adsala_build_info{go_version="`) {
+		t.Errorf("exposition missing adsala_build_info go_version label:\n%s", text)
+	}
+	if !strings.Contains(text, `version="`+Version()+`"`) {
+		t.Errorf("exposition missing version=%q label:\n%s", Version(), text)
+	}
+	if !strings.Contains(text, "} 1\n") {
+		t.Errorf("adsala_build_info should expose constant 1:\n%s", text)
+	}
+	if !strings.Contains(text, "adsala_uptime_seconds ") {
+		t.Errorf("exposition missing adsala_uptime_seconds:\n%s", text)
+	}
+	if strings.Contains(text, "adsala_uptime_seconds -") {
+		t.Errorf("uptime went negative:\n%s", text)
+	}
+}
+
+// TestMountPprof pins the shared pprof wiring: the index answers under
+// /debug/pprof/ on a mux it was mounted on.
+func TestMountPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	MountPprof(mux)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index body missing profile listing")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// tests skip under it because instrumentation perturbs the counts.
+const raceEnabled = true

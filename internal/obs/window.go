@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// WindowedMoments is the sliding-window variant of Moments: a ring of
+// sub-window slots, each holding atomically updated running sums, covering
+// the trailing window of observations. Adding is lock-free and
+// allocation-free (a handful of CAS loops on fixed atomics, in the same
+// spirit as Histogram.Observe), so it can sit on the serving engine's
+// measured hot path; the footprint is constant — slots × one cache line —
+// regardless of traffic.
+//
+// Each slot aggregates one sub-window of window/slots duration. MomentsAt
+// reconstructs a Moments per live slot from its sums (m2 = Σx² − (Σx)²/n)
+// and folds them with Moments.Merge, so merging the sub-windows equals
+// aggregating the whole window directly, up to floating-point rounding —
+// the merge-equals-whole contract the tests pin. Observations older than
+// the window are dropped; slots whose sub-window has expired are recycled
+// in place by the first Add that lands in their ring position.
+//
+// Concurrency is best-effort at sub-window boundaries, which is the right
+// trade for a monitor: an Add racing a slot recycle may be dropped (bounded
+// retries, never a spin forever), and a snapshot racing a recycle may
+// momentarily misread one slot — the next scrape self-corrects. No
+// observation is ever double-counted into two slots.
+type WindowedMoments struct {
+	slotNanos int64
+	slots     []windowSlot
+}
+
+// windowSlot is one sub-window's lock-free aggregation state. epoch is the
+// 1-based sub-window index the slot currently holds (0 = never used;
+// negative = mid-recycle for sub-window −epoch). Sums store float64 bits,
+// updated with the same CAS-add loop as Gauge.Add.
+type windowSlot struct {
+	epoch atomic.Int64
+	n     atomic.Int64
+	sum   atomic.Uint64
+	sumsq atomic.Uint64
+	min   atomic.Uint64
+	max   atomic.Uint64
+}
+
+// NewWindowedMoments returns a window covering the trailing `window`
+// duration with the given number of ring slots (sub-windows). A
+// non-positive window selects one minute; slots is clamped to [1, 1024]
+// with 8 as the zero-value default.
+func NewWindowedMoments(window time.Duration, slots int) *WindowedMoments {
+	if window <= 0 {
+		window = time.Minute
+	}
+	if slots == 0 {
+		slots = 8
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > 1024 {
+		slots = 1024
+	}
+	slotNanos := window.Nanoseconds() / int64(slots)
+	if slotNanos < 1 {
+		slotNanos = 1
+	}
+	return &WindowedMoments{slotNanos: slotNanos, slots: make([]windowSlot, slots)}
+}
+
+// WindowNanos returns the covered duration in nanoseconds (slots × sub-window).
+func (w *WindowedMoments) WindowNanos() int64 { return w.slotNanos * int64(len(w.slots)) }
+
+// Slots returns the ring size.
+func (w *WindowedMoments) Slots() int { return len(w.slots) }
+
+// epochOf maps a timestamp to its 1-based sub-window index (0 is reserved
+// for "slot never used"; negative timestamps clamp to the first epoch).
+func (w *WindowedMoments) epochOf(ts int64) int64 {
+	if ts < 0 {
+		ts = 0
+	}
+	return ts/w.slotNanos + 1
+}
+
+// Add folds one observation in at timestamp ts (nanoseconds on the
+// caller's clock — monotonic since some base for online use, record
+// timestamps for replay). Observations older than the current window, or
+// racing a slot recycle past the bounded retry budget, are dropped.
+//
+//adsala:zeroalloc
+func (w *WindowedMoments) Add(ts int64, x float64) {
+	e := w.epochOf(ts)
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	for i := 0; i < 128; i++ {
+		cur := s.epoch.Load()
+		switch {
+		case cur == e:
+			s.add(x)
+			return
+		case cur > e || -cur > e:
+			// The ring position was already recycled for a newer sub-window:
+			// this observation is older than the window. Drop it.
+			return
+		case cur < 0:
+			// Another Add is mid-recycle for this (or an older) sub-window;
+			// retry until it publishes.
+			continue
+		default:
+			// Stale positive epoch (or 0 = never used): elect to recycle.
+			// Mark the slot mid-recycle, zero the sums, then publish the new
+			// epoch — adders for e wait in the cur<0 branch meanwhile.
+			if s.epoch.CompareAndSwap(cur, -e) {
+				s.n.Store(0)
+				s.sum.Store(0)
+				s.sumsq.Store(0)
+				s.min.Store(floatBits(math.Inf(1)))
+				s.max.Store(floatBits(math.Inf(-1)))
+				s.epoch.Store(e)
+				s.add(x)
+				return
+			}
+		}
+	}
+}
+
+// add folds x into the slot's sums.
+//
+//adsala:zeroalloc
+func (s *windowSlot) add(x float64) {
+	addFloatBits(&s.sum, x)
+	addFloatBits(&s.sumsq, x*x)
+	casFloatMin(&s.min, x)
+	casFloatMax(&s.max, x)
+	s.n.Add(1)
+}
+
+// MomentsAt merges every slot still inside the window ending at ts into
+// one Moments — the read side, off the hot path. The current (partial)
+// sub-window is included, so the effective span is between window−slot and
+// window. Safe for concurrent use with Add.
+func (w *WindowedMoments) MomentsAt(ts int64) Moments {
+	hi := w.epochOf(ts)
+	lo := hi - int64(len(w.slots)) + 1
+	var out Moments
+	for i := range w.slots {
+		s := &w.slots[i]
+		e := s.epoch.Load()
+		if e < lo || e > hi {
+			continue
+		}
+		n := s.n.Load()
+		if n == 0 {
+			continue
+		}
+		sum := bitsFloat(s.sum.Load())
+		sumsq := bitsFloat(s.sumsq.Load())
+		mean := sum / float64(n)
+		m2 := sumsq - sum*sum/float64(n)
+		if !(m2 > 0) { // catches negative rounding residue and NaN
+			m2 = 0
+		}
+		out.Merge(Moments{n: n, mean: mean, m2: m2,
+			min: bitsFloat(s.min.Load()), max: bitsFloat(s.max.Load())})
+	}
+	return out
+}
+
+// addFloatBits adds d to a float64 stored as bits, with the Gauge.Add CAS
+// loop.
+//
+//adsala:zeroalloc
+func addFloatBits(a *atomic.Uint64, d float64) {
+	for {
+		old := a.Load()
+		if a.CompareAndSwap(old, floatBits(bitsFloat(old)+d)) {
+			return
+		}
+	}
+}
+
+// casFloatMin lowers a float64-bits atomic to x when x is smaller.
+//
+//adsala:zeroalloc
+func casFloatMin(a *atomic.Uint64, x float64) {
+	for {
+		old := a.Load()
+		if x >= bitsFloat(old) {
+			return
+		}
+		if a.CompareAndSwap(old, floatBits(x)) {
+			return
+		}
+	}
+}
+
+// casFloatMax raises a float64-bits atomic to x when x is larger.
+//
+//adsala:zeroalloc
+func casFloatMax(a *atomic.Uint64, x float64) {
+	for {
+		old := a.Load()
+		if x <= bitsFloat(old) {
+			return
+		}
+		if a.CompareAndSwap(old, floatBits(x)) {
+			return
+		}
+	}
+}

@@ -241,6 +241,38 @@ func (c *Client) PredictBatchRequestsCtx(ctx context.Context, reqs []PredictRequ
 	return resp.Threads, nil
 }
 
+// ReportMeasured reports executed kernel wall times back to the daemon
+// through POST /measured, feeding its drift monitor and flight recorder.
+// Returns the number of records the server accepted (the whole batch, or
+// zero — ingestion is all-or-nothing).
+func (c *Client) ReportMeasured(records []MeasuredRecord) (int, error) {
+	return c.ReportMeasuredCtx(context.Background(), records) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
+}
+
+// ReportMeasuredCtx is ReportMeasured bounded by the caller's context.
+func (c *Client) ReportMeasuredCtx(ctx context.Context, records []MeasuredRecord) (int, error) {
+	var resp MeasuredResponse
+	if err := c.do(ctx, http.MethodPost, "/measured", MeasuredRequest{Records: records}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Accepted, nil
+}
+
+// Drift fetches the server's online drift report (404 unless the daemon
+// runs with drift monitoring on).
+func (c *Client) Drift() (*DriftReport, error) {
+	return c.DriftCtx(context.Background()) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call
+}
+
+// DriftCtx is Drift bounded by the caller's context.
+func (c *Client) DriftCtx(ctx context.Context) (*DriftReport, error) {
+	var resp DriftReport
+	if err := c.do(ctx, http.MethodGet, "/drift", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats fetches the server's engine and HTTP metrics.
 func (c *Client) Stats() (StatsResponse, error) {
 	return c.StatsCtx(context.Background()) //adsala:ignore ctxflow context-less compat method; use the Ctx sibling to bound the call

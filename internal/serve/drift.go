@@ -1,0 +1,16 @@
+package serve
+
+import (
+	"repro/internal/drift"
+)
+
+// SetDriftMonitor attaches (or detaches, with nil) the online drift
+// monitor: every subsequent RecordMeasured call scores its
+// measured-prediction pair into the monitor's sliding windows. Like the
+// flight recorder, the engine does not own the monitor's lifecycle, and
+// the hot path pays one atomic pointer load when monitoring is off.
+func (e *Engine) SetDriftMonitor(m *drift.Monitor) { e.drift.Store(m) }
+
+// DriftMonitor returns the attached drift monitor, or nil when drift
+// monitoring is off.
+func (e *Engine) DriftMonitor() *drift.Monitor { return e.drift.Load() }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/sampling"
@@ -87,6 +88,11 @@ type Engine struct {
 	// it, as Warmup already documents for the counters).
 	recorder atomic.Pointer[trace.Recorder]
 	warming  atomic.Int64
+
+	// drift is the optional online model-quality monitor (nil when drift
+	// monitoring is off — the measured hot path pays one atomic pointer
+	// load, exactly like the recorder).
+	drift atomic.Pointer[drift.Monitor]
 }
 
 // opCounters is one operation's share of the serving counters.

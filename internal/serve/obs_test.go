@@ -191,6 +191,8 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		`adsala_http_requests_total{result="ok",route="predict"}`,
 		`adsala_http_request_seconds_count{route="batch"}`,
 		"adsala_serve_artefact_format_version",
+		`adsala_build_info{go_version="`,
+		"adsala_uptime_seconds",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics exposition lacks %q", want)

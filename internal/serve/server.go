@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -82,6 +81,13 @@ type HealthResponse struct {
 	// boot artefact), so an operator can confirm a reload took effect even
 	// when old and new artefacts share a format version.
 	Generation int64 `json:"artefact_generation"`
+	// Degraded is true when the drift monitor reports the model's windowed
+	// prediction residuals past the configured threshold for at least one
+	// op; DriftingOps lists the offenders. Degraded is not down: readiness
+	// stays 200 (the daemon still serves; the model is stale, and /drift
+	// has the details). Absent when drift monitoring is off.
+	Degraded    bool     `json:"degraded,omitempty"`
+	DriftingOps []string `json:"drifting_ops,omitempty"`
 }
 
 // endpointMetrics tracks request count and latency for one endpoint. The
@@ -293,11 +299,12 @@ func WithReload(rc ReloadConfig) ServerOption {
 // Server is the HTTP front end of the serving subsystem. It satisfies
 // http.Handler; mount it directly or via an http.Server.
 type Server struct {
-	engine  *Engine
-	mux     *http.ServeMux
-	reg     *obs.Registry
-	predict endpointMetrics
-	batch   endpointMetrics
+	engine   *Engine
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	predict  endpointMetrics
+	batch    endpointMetrics
+	measured endpointMetrics
 
 	// Overload protection: limits is resolved at construction; limit is
 	// nil when admission control is disabled.
@@ -335,9 +342,12 @@ func NewServer(engine *Engine, opts ...ServerOption) *Server {
 	s.limit = newLimiter(s.limits)
 	s.predict.latency = obs.NewHistogram(1e-9)
 	s.batch.latency = obs.NewHistogram(1e-9)
+	s.measured.latency = obs.NewHistogram(1e-9)
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/measured", s.handleMeasured)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/drift", s.handleDrift)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/livez", s.handleLivez)
 	s.mux.Handle("/metrics", s.reg.Handler())
@@ -346,8 +356,10 @@ func NewServer(engine *Engine, opts ...ServerOption) *Server {
 	}
 
 	engine.RegisterMetrics(s.reg)
+	obs.RegisterProcessMetrics(s.reg)
 	s.predict.register(s.reg, "predict")
 	s.batch.register(s.reg, "batch")
+	s.measured.register(s.reg, "measured")
 	s.reg.GaugeFunc("adsala_serve_ready",
 		"1 when the daemon is accepting traffic, 0 while starting or draining.",
 		func() float64 {
@@ -402,15 +414,11 @@ func (s *Server) SetReady(ready bool) {
 // Ready reports whether the server currently answers /healthz with 200.
 func (s *Server) Ready() bool { return s.ready.Load() }
 
-// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by default:
-// profiling endpoints expose internals and cost CPU, so daemons gate this
-// behind a flag.
+// EnablePprof mounts net/http/pprof under /debug/pprof/ (the shared
+// obs.MountPprof wiring). Off by default: profiling endpoints expose
+// internals and cost CPU, so daemons gate this behind a flag.
 func (s *Server) EnablePprof() {
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	obs.MountPprof(s.mux)
 }
 
 // ServeHTTP implements http.Handler. Every route runs under the
@@ -644,8 +652,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Models:   models,
 		Engine:   s.engine.Stats(),
 		HTTP: map[string]EndpointStats{
-			"predict": s.predict.snapshot(),
-			"batch":   s.batch.snapshot(),
+			"predict":  s.predict.snapshot(),
+			"batch":    s.batch.snapshot(),
+			"measured": s.measured.snapshot(),
 		},
 	})
 }
@@ -665,7 +674,7 @@ func (s *Server) healthBody(ready bool) HealthResponse {
 	for i, op := range trained {
 		names[i] = op.String()
 	}
-	return HealthResponse{
+	body := HealthResponse{
 		Status:        status,
 		Ready:         ready,
 		Platform:      lib.Platform,
@@ -674,6 +683,11 @@ func (s *Server) healthBody(ready bool) HealthResponse {
 		Ops:           names,
 		Generation:    s.engine.Generation(),
 	}
+	if mon := s.engine.DriftMonitor(); mon != nil {
+		body.DriftingOps = mon.DriftingOps()
+		body.Degraded = len(body.DriftingOps) > 0
+	}
+	return body
 }
 
 // Reload swaps the served artefact through the configured ReloadConfig:

@@ -39,14 +39,30 @@ func (e *Engine) traceDecision(op Op, m, k, n, threads int, predNs int64, flags 
 	})
 }
 
-// RecordMeasured appends a measurement record — the measured wall time of
-// one executed kernel call at the given thread count — to the attached
-// recorder, if any. The in-process BLAS facade calls it after each
-// successful execution; a serving daemon never does (it only decides), so
-// daemon traces hold decision records only. A no-op without a recorder.
+// RecordMeasured folds one measurement — the measured wall time of one
+// executed kernel call at the given thread count — into the engine's
+// measured-prediction stream: the flight recorder appends a measurement
+// record, and the drift monitor (when attached) scores the pair online.
+// The in-process BLAS facade calls it after each successful execution; a
+// serving daemon itself only decides, so its stream fills through POST
+// /measured, where executing clients report their kernel wall times back.
+// A no-op with neither recorder nor monitor attached.
 //
 //adsala:zeroalloc
 func (e *Engine) RecordMeasured(op Op, m, k, n, threads int, measuredNs int64) {
+	if d := e.drift.Load(); d != nil {
+		st := e.state.Load()
+		var predNs int64
+		if st.lib.ModelFor(op) != nil {
+			// Score the executed configuration with the pooled scratch — the
+			// same model evaluation replay runs offline, so online residuals
+			// and a replay of the capture are directly comparable.
+			rs := st.scratch.Get().(*rankScratch)
+			predNs = int64(st.lib.PredictOpSecondsInto(op, m, k, n, threads, rs.s) * 1e9)
+			st.scratch.Put(rs)
+		}
+		d.Observe(op, m, k, n, predNs, measuredNs)
+	}
 	r := e.recorder.Load()
 	if r == nil {
 		return

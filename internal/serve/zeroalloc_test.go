@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/trace"
 )
 
@@ -72,5 +73,34 @@ func TestPredictTracedZeroAlloc(t *testing.T) {
 	}
 	if rec.Dropped() != 0 {
 		t.Fatalf("ring dropped %d records during the run; size the ring up", rec.Dropped())
+	}
+}
+
+// TestRecordMeasuredDriftZeroAlloc pins the acceptance criterion of the
+// drift tentpole: with a drift monitor attached, RecordMeasured — model
+// evaluation with the pooled scratch, bucket routing, two windowed-moments
+// updates, two histogram observations — stays at 0 allocs/op on the
+// engine's measured hot path.
+func TestRecordMeasuredDriftZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are perturbed by the race detector")
+	}
+	e := NewEngine(lib(t), Options{})
+	e.SetDriftMonitor(drift.NewMonitor(drift.Config{}))
+
+	// Prime the scratch pool so steady-state reuse is what gets measured.
+	e.RecordMeasured(OpGEMM, 512, 256, 384, 8, 12345)
+	if n := testing.AllocsPerRun(500, func() {
+		e.RecordMeasured(OpGEMM, 512, 256, 384, 8, 12345)
+	}); n != 0 {
+		t.Errorf("drift-monitored RecordMeasured allocates %.1f/op, want 0", n)
+	}
+
+	// The symmetric-rank ops route through their own FLOP weights.
+	e.RecordMeasured(OpSYRK, 512, 256, 512, 8, 12345)
+	if n := testing.AllocsPerRun(500, func() {
+		e.RecordMeasured(OpSYRK, 512, 256, 512, 8, 12345)
+	}); n != 0 {
+		t.Errorf("drift-monitored RecordMeasured(SYRK) allocates %.1f/op, want 0", n)
 	}
 }
